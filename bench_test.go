@@ -1,0 +1,366 @@
+package layers_test
+
+// Benchmark harness: one benchmark per experiment in the EXPERIMENTS.md
+// index (the paper has no numbered tables/figures; its evaluation is its
+// lemma/theorem sequence, and each Ek below regenerates the machine-checked
+// form of one claim). Custom metrics report search effort alongside time:
+// states explored, memoized valence entries, witness depth.
+
+import (
+	"fmt"
+	"testing"
+
+	layers "repro"
+	"repro/internal/decision"
+	"repro/internal/protocols"
+	"repro/internal/tasks"
+	"repro/internal/valence"
+)
+
+// BenchmarkE1_InitialConnectivity — Lemma 3.6: Con_0 similarity
+// connectivity and existence of a bivalent initial state.
+func BenchmarkE1_InitialConnectivity(b *testing.B) {
+	for _, n := range []int{3, 4, 5} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := protocols.FloodSet{Rounds: 2}
+			m := layers.MobileS1(p, n)
+			for i := 0; i < b.N; i++ {
+				inits := m.Inits()
+				if _, conn := valence.SetSDiameter(inits); !conn {
+					b.Fatal("Con_0 not similarity connected")
+				}
+				o := layers.NewOracle(m)
+				found := false
+				for _, x := range inits {
+					if o.Bivalent(x, 2) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					b.Fatal("no bivalent initial state")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2_MobileImpossibility — Lemma 5.1 + Corollary 5.2: layer
+// connectivity and refutation of consensus in M^mf.
+func BenchmarkE2_MobileImpossibility(b *testing.B) {
+	for _, cfg := range []struct{ n, bound int }{{3, 2}, {3, 3}, {4, 2}} {
+		b.Run(fmt.Sprintf("n=%d/B=%d", cfg.n, cfg.bound), func(b *testing.B) {
+			p := protocols.FloodSet{Rounds: cfg.bound}
+			m := layers.MobileS1(p, cfg.n)
+			var explored int
+			for i := 0; i < b.N; i++ {
+				w, err := layers.Certify(m, cfg.bound, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if w.Kind == layers.OK {
+					b.Fatal("consensus certified in M^mf")
+				}
+				explored = w.Explored
+			}
+			b.ReportMetric(float64(explored), "states")
+		})
+	}
+}
+
+// BenchmarkE3_ShmemSynchronic — Lemma 5.3 + Corollary 5.4: synchronic
+// layer analysis and refutation in M^rw.
+func BenchmarkE3_ShmemSynchronic(b *testing.B) {
+	b.Run("layer-analysis/n=3", func(b *testing.B) {
+		p := protocols.SMVote{Phases: 2}
+		m := layers.SharedMemory(p, 3)
+		for i := 0; i < b.N; i++ {
+			o := layers.NewOracle(m)
+			for _, x := range m.Inits() {
+				r := layers.AnalyzeLayer(m, o, x, 2)
+				if !r.ValenceConnected {
+					b.Fatal("S^rw layer not valence connected")
+				}
+			}
+		}
+	})
+	b.Run("certify/n=3/B=1", func(b *testing.B) {
+		p := protocols.SMVote{Phases: 1}
+		m := layers.SharedMemory(p, 3)
+		var explored int
+		for i := 0; i < b.N; i++ {
+			w, err := layers.Certify(m, 1, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if w.Kind == layers.OK {
+				b.Fatal("consensus certified in M^rw")
+			}
+			explored = w.Explored
+		}
+		b.ReportMetric(float64(explored), "states")
+	})
+}
+
+// BenchmarkE4_PermutationLayering — the permutation layering: diamond
+// identity, transposition similarity, refutation in async MP.
+func BenchmarkE4_PermutationLayering(b *testing.B) {
+	b.Run("diamond/n=3", func(b *testing.B) {
+		m := layers.AsyncMessagePassing(protocols.MPFullInfo{}, 3)
+		x := m.Initial([]int{0, 1, 1})
+		for i := 0; i < b.N; i++ {
+			y := m.Sequential(m.Sequential(x, []int{0, 1, 2}), []int{0, 1})
+			yp := m.Sequential(m.Sequential(x, []int{0, 1}), []int{2, 0, 1})
+			if y.Key() != yp.Key() {
+				b.Fatal("diamond identity failed")
+			}
+		}
+	})
+	b.Run("certify/n=3/B=1", func(b *testing.B) {
+		p := protocols.MPFlood{Phases: 1}
+		m := layers.AsyncMessagePassing(p, 3)
+		var explored int
+		for i := 0; i < b.N; i++ {
+			w, err := layers.Certify(m, 1, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if w.Kind == layers.OK {
+				b.Fatal("consensus certified in async MP")
+			}
+			explored = w.Explored
+		}
+		b.ReportMetric(float64(explored), "states")
+	})
+}
+
+// BenchmarkE5_SyncLowerBound — Corollary 6.3: FloodSet(t+1) certified,
+// FloodSet(t) refuted.
+func BenchmarkE5_SyncLowerBound(b *testing.B) {
+	for _, cfg := range []struct{ n, t int }{{3, 1}, {4, 1}, {4, 2}} {
+		b.Run(fmt.Sprintf("certify/n=%d/t=%d", cfg.n, cfg.t), func(b *testing.B) {
+			p := protocols.FloodSet{Rounds: cfg.t + 1}
+			m := layers.SyncSt(p, cfg.n, cfg.t)
+			var explored int
+			for i := 0; i < b.N; i++ {
+				w, err := layers.Certify(m, cfg.t+1, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if w.Kind != layers.OK {
+					b.Fatalf("FloodSet(t+1) refuted: %v", w.Kind)
+				}
+				explored = w.Explored
+			}
+			b.ReportMetric(float64(explored), "states")
+		})
+		b.Run(fmt.Sprintf("refute/n=%d/t=%d", cfg.n, cfg.t), func(b *testing.B) {
+			p := protocols.FloodSet{Rounds: cfg.t}
+			m := layers.SyncSt(p, cfg.n, cfg.t)
+			var depth int
+			for i := 0; i < b.N; i++ {
+				w, err := layers.Certify(m, cfg.t, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if w.Kind == layers.OK {
+					b.Fatal("too-fast FloodSet certified")
+				}
+				depth = w.Exec.Len()
+			}
+			b.ReportMetric(float64(depth), "witness-layers")
+		})
+	}
+}
+
+// BenchmarkE6_FastUnivalence — Lemma 6.4: failure-free rounds after <= k
+// failures force univalence in a fast protocol.
+func BenchmarkE6_FastUnivalence(b *testing.B) {
+	for _, cfg := range []struct{ n, t int }{{3, 1}, {4, 2}} {
+		b.Run(fmt.Sprintf("n=%d/t=%d", cfg.n, cfg.t), func(b *testing.B) {
+			rounds := cfg.t + 1
+			p := protocols.FloodSet{Rounds: rounds}
+			m := layers.SyncSt(p, cfg.n, cfg.t)
+			g, err := layers.Explore(m, rounds-1, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o := layers.NewOracle(m)
+				for d := 0; d < rounds; d++ {
+					for _, x := range g.StatesAtDepth(d) {
+						succs := m.Successors(x)
+						if _, ok := o.Univalent(succs[0].State, rounds-d-1); !ok {
+							b.Fatal("failure-free successor not univalent")
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7_ThickConnectivity — Theorem 7.2 / Corollary 7.3: the task
+// zoo's 1-thick-connectivity verdicts.
+func BenchmarkE7_ThickConnectivity(b *testing.B) {
+	for _, n := range []int{2, 3} {
+		b.Run(fmt.Sprintf("zoo/n=%d", n), func(b *testing.B) {
+			zoo := tasks.Zoo(n)
+			for i := 0; i < b.N; i++ {
+				for _, task := range zoo {
+					budget := task.SubproblemBudget
+					if budget == 0 {
+						budget = 1_000_000
+					}
+					_, ok, err := task.Problem.KThickConnected(1, budget)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if ok != task.Solvable1Resilient {
+						b.Fatalf("%s: verdict %v, want %v", task.Problem.Name, ok, task.Solvable1Resilient)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8_DiameterRecurrence — Lemma 7.6 / Theorem 7.7: measured
+// s-diameter growth against the recurrence bound.
+func BenchmarkE8_DiameterRecurrence(b *testing.B) {
+	const n, t, depth = 3, 2, 2
+	p := protocols.FullInfo{}
+	m := layers.SyncSt(p, n, t)
+	g, err := layers.Explore(m, depth, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var measured int
+	for i := 0; i < b.N; i++ {
+		dPrev, _ := valence.SetSDiameter(g.StatesAtDepth(0))
+		for d := 1; d <= depth; d++ {
+			dY := 0
+			for _, x := range g.StatesAtDepth(d - 1) {
+				states, _ := valence.Layer(m, x)
+				if ld, _ := valence.SetSDiameter(states); ld > dY {
+					dY = ld
+				}
+			}
+			bound := dPrev*dY + dPrev + dY
+			dCur, _ := valence.SetSDiameter(g.StatesAtDepth(d))
+			if dCur > bound {
+				b.Fatalf("depth %d: measured %d > bound %d", d, dCur, bound)
+			}
+			if paperBound := decision.DiameterBound(dPrev, n, 1); bound > 0 && paperBound < 0 {
+				b.Fatal("unreachable")
+			}
+			dPrev = dCur
+			measured = dCur
+		}
+	}
+	b.ReportMetric(float64(measured), "s-diameter")
+}
+
+// BenchmarkE9_Extensions — wasted faults, early decision, IIS subdivision.
+func BenchmarkE9_Extensions(b *testing.B) {
+	b.Run("wasted-faults/n=4/t=2/c=2", func(b *testing.B) {
+		const n, tt, c, rounds = 4, 2, 2, 3
+		m := layers.SyncStMulti(protocols.FloodSet{Rounds: rounds}, n, tt, c)
+		for i := 0; i < b.N; i++ {
+			g, err := layers.Explore(m, rounds, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			o := layers.NewOracle(m)
+			for d := 0; d <= rounds; d++ {
+				for _, x := range g.StatesAtDepth(d) {
+					o.Bivalent(x, rounds-d)
+				}
+			}
+		}
+	})
+	b.Run("early-decision/n=4/t=2", func(b *testing.B) {
+		m := layers.SyncSt(layers.EarlyFloodSet{MaxRounds: 3}, 4, 2)
+		var explored int
+		for i := 0; i < b.N; i++ {
+			w, err := layers.Certify(m, 3, 0)
+			if err != nil || w.Kind != layers.OK {
+				b.Fatal(err, w.Kind)
+			}
+			explored = w.Explored
+		}
+		b.ReportMetric(float64(explored), "states")
+	})
+	b.Run("iis-subdivision/n=3", func(b *testing.B) {
+		m := layers.IteratedImmediateSnapshot(layers.SMFullInfo{}, 3)
+		x := m.Initial([]int{0, 1, 1})
+		for i := 0; i < b.N; i++ {
+			st := m.Stats(x)
+			if st.TopSimplexes != 13 {
+				b.Fatal("subdivision wrong")
+			}
+		}
+	})
+}
+
+// BenchmarkE10_TaskCertifier — the k-set boundary through CertifyTask.
+func BenchmarkE10_TaskCertifier(b *testing.B) {
+	const n = 3
+	m := layers.MobileS1(layers.FloodSet{Rounds: 1}, n)
+	var inits []layers.State
+	for a := 0; a < 27; a++ {
+		v := a
+		in := make([]int, n)
+		for i := 0; i < n; i++ {
+			in[i] = v % 3
+			v /= 3
+		}
+		inits = append(inits, m.Initial(in))
+	}
+	delta := tasks.KSetAgreement(n, 2).Problem.Delta
+	b.ResetTimer()
+	var explored int
+	for i := 0; i < b.N; i++ {
+		w, err := layers.CertifyTask(m, inits, delta, 1, 0)
+		if err != nil || w.Kind != layers.TaskOK {
+			b.Fatal(err, w.Kind)
+		}
+		explored = w.Explored
+	}
+	b.ReportMetric(float64(explored), "states")
+}
+
+// BenchmarkE11_CommonKnowledge — the Dwork–Moses connection: CK-class
+// computation at the decision round plus the common-knowledge check.
+func BenchmarkE11_CommonKnowledge(b *testing.B) {
+	const n, tt = 3, 1
+	rounds := tt + 1
+	m := layers.SyncSt(layers.FloodSet{Rounds: rounds}, n, tt)
+	g, err := layers.Explore(m, rounds, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	states := g.StatesAtDepth(rounds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		classes := layers.NewKnowledgeClasses(states)
+		for _, x := range states {
+			v := -1
+			for p := 0; p < n; p++ {
+				if x.FailedAt(p) {
+					continue
+				}
+				if got, ok := x.Decided(p); ok {
+					v = got
+					break
+				}
+			}
+			if v < 0 || !classes.CommonKnowledge(x.Key(), layers.DecidedValueFact(v)) {
+				b.Fatal("decision without common knowledge")
+			}
+		}
+	}
+	b.ReportMetric(float64(len(states)), "states")
+}

@@ -1,0 +1,121 @@
+// Command bivalence runs the two executable faces of the paper's
+// impossibility machinery against a chosen model:
+//
+//  1. the certifier, which exhaustively checks the consensus requirements
+//     over all runs up to the protocol's decision bound and prints either
+//     OK or a violation witness run; and
+//  2. the bivalent-chain construction of Theorem 4.2, which builds and
+//     prints an execution all of whose states are bivalent.
+//
+// Usage:
+//
+//	bivalence -model mobile -n 3 -bound 2
+//	bivalence -model shmem -n 3 -bound 1
+//	bivalence -model asyncmp -n 3 -bound 1 -target 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/valence"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bivalence:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bivalence", flag.ContinueOnError)
+	var (
+		model   = fs.String("model", "mobile", "model: "+strings.Join(cli.Models(), "|"))
+		n       = fs.Int("n", 3, "number of processes")
+		t       = fs.Int("t", 1, "failure budget (sync-st)")
+		bound   = fs.Int("bound", 2, "protocol decision bound (layers)")
+		target  = fs.Int("target", -1, "bivalent chain target depth (default bound-1)")
+		visits  = fs.Int("budget", 5_000_000, "certification visit budget (0 = unbounded)")
+		jsonOut = fs.Bool("json", false, "emit machine-readable JSON (keys replayable through the model)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := cli.Build(cli.Spec{Model: *model, N: *n, T: *t, Bound: *bound})
+	if err != nil {
+		return err
+	}
+
+	w, err := valence.Certify(m, *bound, *visits)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return runJSON(m, w, *bound, *target)
+	}
+	fmt.Printf("== certifying consensus over %s (bound %d) ==\n", m.Name(), *bound)
+	fmt.Printf("verdict: %s\n", w.Kind)
+	if w.Kind != valence.OK {
+		fmt.Printf("detail:  %s\n", w.Detail)
+		fmt.Printf("witness run (%d layers):\n%s", w.Exec.Len(), trace.FormatExecution(w.Exec))
+	}
+
+	tgt := *target
+	if tgt < 0 {
+		tgt = *bound - 1
+	}
+	if tgt < 0 {
+		tgt = 0
+	}
+	fmt.Printf("\n== bivalent chain (Theorem 4.2), target %d layers ==\n", tgt)
+	o := valence.NewOracle(m)
+	ch, err := valence.BivalentChain(m, o, valence.DecreasingHorizon(*bound, 1), tgt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reached %d of %d layers (valence memo: %d entries)\n", ch.Reached, tgt, o.MemoLen())
+	fmt.Print(trace.FormatExecution(ch.Exec))
+	if ch.Stuck != nil {
+		fmt.Printf("chain stuck: layer had %d states, %d bivalent, valence-connected=%v\n",
+			len(ch.Stuck.States), len(ch.Stuck.BivalentIdx), ch.Stuck.ValenceConnected)
+		return fmt.Errorf("bivalent chain could not reach target depth")
+	}
+	return nil
+}
+
+// runJSON emits the certification witness and the bivalent chain as one
+// JSON document, with exact state keys so the runs replay through the
+// model.
+func runJSON(m core.Model, w *valence.Witness, bound, target int) error {
+	if target < 0 {
+		target = bound - 1
+	}
+	if target < 0 {
+		target = 0
+	}
+	o := valence.NewOracle(m)
+	ch, err := valence.BivalentChain(m, o, valence.DecreasingHorizon(bound, 1), target)
+	if err != nil {
+		return err
+	}
+	key := func(x core.State) string { return x.Key() }
+	doc := struct {
+		Model   string              `json:"model"`
+		Bound   int                 `json:"bound"`
+		Certify *report.WitnessJSON `json:"certify"`
+		Chain   *report.ChainJSON   `json:"bivalentChain"`
+	}{
+		Model:   m.Name(),
+		Bound:   bound,
+		Certify: report.NewWitness(w, key),
+		Chain:   report.NewChain(ch, key),
+	}
+	return report.Write(os.Stdout, doc)
+}

@@ -1,0 +1,82 @@
+// Quickstart: the layered analysis in five steps, on the single mobile
+// failure model M^mf (Santoro–Widmayer), reproducing Corollary 5.2.
+//
+//  1. Build a model: M^mf with the S1 layering, running FloodSet.
+//  2. Check the structural lemma: every layer S(x) is similarity and
+//     valence connected (Lemma 5.1).
+//  3. Find a bivalent initial state (Lemma 3.6).
+//  4. Build the bivalent chain (Theorem 4.2): the adversary's run that
+//     keeps the system undecided.
+//  5. Certify: the framework finds the concrete violation any consensus
+//     candidate must exhibit in this model.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	layers "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const n, rounds = 3, 3
+
+	// 1. Model: M^mf running FloodSet that decides after `rounds` rounds.
+	p := layers.FloodSet{Rounds: rounds}
+	m := layers.MobileS1(p, n)
+	fmt.Printf("model: %s\n\n", m.Name())
+
+	// 2. Lemma 5.1: every S1 layer over the initial states is similarity
+	// connected, hence valence connected.
+	o := layers.NewOracle(m)
+	for _, x := range m.Inits() {
+		r := layers.AnalyzeLayer(m, o, x, rounds)
+		if !r.SimilarityConnected || !r.ValenceConnected {
+			return fmt.Errorf("layer connectivity failed at %s", layers.FormatState(x))
+		}
+	}
+	fmt.Printf("Lemma 5.1: all %d initial layers similarity+valence connected\n", len(m.Inits()))
+
+	// 3. Lemma 3.6: a bivalent initial state exists.
+	var init layers.State
+	for _, x := range m.Inits() {
+		if o.Bivalent(x, rounds) {
+			init = x
+			break
+		}
+	}
+	if init == nil {
+		return fmt.Errorf("no bivalent initial state (Lemma 3.6 violated)")
+	}
+	fmt.Printf("Lemma 3.6: found a bivalent initial state\n\n")
+
+	// 4. Theorem 4.2: extend bivalence layer by layer.
+	ch, err := layers.BivalentChain(m, o, layers.DecreasingHorizon(rounds, 1), rounds-1)
+	if err != nil {
+		return err
+	}
+	if ch.Stuck != nil {
+		return fmt.Errorf("bivalent chain stuck at depth %d", ch.Reached)
+	}
+	fmt.Printf("Theorem 4.2: bivalent chain of %d layers (nobody decides):\n%s\n",
+		ch.Reached, layers.FormatExecution(ch.Exec))
+
+	// 5. Corollary 5.2: certification must find a violation.
+	w, err := layers.Certify(m, rounds, 0)
+	if err != nil {
+		return err
+	}
+	if w.Kind == layers.OK {
+		return fmt.Errorf("consensus certified in M^mf — impossible per Corollary 5.2")
+	}
+	fmt.Printf("Corollary 5.2: FloodSet refuted in M^mf — %s\n%s", w.Kind, layers.FormatExecution(w.Exec))
+	return nil
+}

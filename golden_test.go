@@ -1,0 +1,67 @@
+package layers_test
+
+// Golden regression tests: the framework is fully deterministic, so the
+// exact witness the certifier returns for a given model/protocol/bound is
+// part of the contract. A change here means the semantics of a model, a
+// protocol, or the search order changed — all of which are observable
+// behavior for downstream users replaying witnesses.
+
+import (
+	"strings"
+	"testing"
+
+	layers "repro"
+)
+
+func TestGoldenWitnesses(t *testing.T) {
+	cases := []struct {
+		name    string
+		m       layers.Model
+		bound   int
+		kind    layers.WitnessKind
+		actions string
+	}{
+		{
+			name:    "mobile-n3-b2",
+			m:       layers.MobileS1(layers.FloodSet{Rounds: 2}, 3),
+			bound:   2,
+			kind:    layers.AgreementViolation,
+			actions: "(2,[2]);(2,[1])",
+		},
+		{
+			name:    "syncst-n4-t2-fast",
+			m:       layers.SyncSt(layers.FloodSet{Rounds: 2}, 4, 2),
+			bound:   2,
+			kind:    layers.AgreementViolation,
+			actions: "(3,[2]);(2,[1])",
+		},
+		{
+			name:    "shmem-n3-p1",
+			m:       layers.SharedMemory(layers.SMVote{Phases: 1}, 3),
+			bound:   1,
+			kind:    layers.UndecidedAtBound,
+			actions: "(0,A)",
+		},
+		{
+			name:    "asyncmp-n3-p1",
+			m:       layers.AsyncMessagePassing(layers.MPFlood{Phases: 1}, 3),
+			bound:   1,
+			kind:    layers.UndecidedAtBound,
+			actions: "[0,1]",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w, err := layers.Certify(c.m, c.bound, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.Kind != c.kind {
+				t.Errorf("kind = %v, want %v", w.Kind, c.kind)
+			}
+			if got := strings.Join(w.Exec.Actions(), ";"); got != c.actions {
+				t.Errorf("witness actions = %q, want %q", got, c.actions)
+			}
+		})
+	}
+}

@@ -1,0 +1,35 @@
+package asyncmp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asyncmp"
+	"repro/internal/protocols"
+)
+
+func BenchmarkSuccessors(b *testing.B) {
+	for _, n := range []int{3, 4} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := asyncmp.New(protocols.MPFlood{Phases: 2}, n)
+			x := m.Initial(make([]int, n))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := m.Successors(x); len(got) == 0 {
+					b.Fatal("no successors")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSequentialLayer(b *testing.B) {
+	const n = 4
+	m := asyncmp.New(protocols.MPFullInfo{}, n)
+	x := m.Initial(make([]int, n))
+	order := []int{0, 1, 2, 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Sequential(x, order)
+	}
+}

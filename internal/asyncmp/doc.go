@@ -1,0 +1,49 @@
+// Package asyncmp implements the asynchronous message-passing model with
+// the paper's permutation layering S^per (Section 5.1), the first
+// message-passing analogue of immediate-snapshot executions.
+//
+// # Local phases
+//
+// A local phase of process i consists of an emission of at most one message
+// to every other process, and the delivery of all messages outstanding for
+// i. Mirroring the write-then-read orientation of immediate snapshots, the
+// messages emitted in a phase are a function of the process's local state at
+// the start of the phase, and the delivered messages update the state
+// afterwards: phase(i) = send(state_i); state_i' = receive(state_i, due).
+// This is the orientation under which the paper's claims
+//
+//	x[..,pk,pk+1,..] ~s x[..,{pk,pk+1},..] ~s x[..,pk+1,pk,..]
+//
+// hold exactly (with receive-before-send and sends computed from the
+// post-receive state, the messages of pk+1 — and hence the states of every
+// later process — would depend on the order of the pair, and the
+// transposition chain would fail); the mechanical check is in the package
+// tests and in experiment E4.
+//
+// # Environment
+//
+// The environment's local state is the cumulative per-channel send history:
+// hist[from][to] is the sequence of all messages ever sent from one process
+// to another. How far each receiver has consumed each channel is part of the
+// receiver's local state (together with its protocol state); the messages
+// outstanding for i on channel j are hist[j][i][consumed[i][j]:]. This
+// choice is what makes the environment agree across states that differ only
+// in whether a message was already delivered — exactly the situations the
+// paper's similarity arguments rely on — while the global state still
+// determines the future of the system.
+//
+// # Environment actions (layers)
+//
+//   - full permutation [p1,...,pn]: the processes perform local phases
+//     sequentially in the given order (later processes receive the fresh
+//     messages of earlier ones);
+//   - drop-one [p1,...,p_{n-1}]: as above, but one process performs no
+//     phase at all;
+//   - concurrent pair [p1,...,{pk,pk+1},...,pn]: as the full permutation,
+//     except pk and pk+1 run concurrently — both send from their pre-phase
+//     states and both then receive everything outstanding, including each
+//     other's fresh message (the immediate-snapshot "block").
+//
+// Every S^per-run has all processes but at most one performing local phases
+// infinitely often, and the model displays no finite failure.
+package asyncmp

@@ -1,0 +1,213 @@
+package asyncmp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// Model is the asynchronous message-passing model with the permutation
+// layering S^per. It implements core.Model.
+type Model struct {
+	p    proto.MPProtocol
+	n    int
+	name string
+}
+
+var _ core.Model = (*Model)(nil)
+
+// New returns the model for protocol p on n processes.
+func New(p proto.MPProtocol, n int) *Model {
+	return &Model{p: p, n: n, name: fmt.Sprintf("asyncmp/Sper(n=%d,%s)", n, p.Name())}
+}
+
+// Name implements core.Model.
+func (m *Model) Name() string { return m.name }
+
+// Protocol returns the protocol the model runs.
+func (m *Model) Protocol() proto.MPProtocol { return m.p }
+
+// N returns the number of processes.
+func (m *Model) N() int { return m.n }
+
+// Inits implements core.Model: Con_0 in binary counting order, all channels
+// empty.
+func (m *Model) Inits() []core.State {
+	out := make([]core.State, 0, 1<<uint(m.n))
+	for a := 0; a < 1<<uint(m.n); a++ {
+		inputs := make([]int, m.n)
+		for i := 0; i < m.n; i++ {
+			inputs[i] = (a >> uint(i)) & 1
+		}
+		out = append(out, m.Initial(inputs))
+	}
+	return out
+}
+
+// Initial builds the initial state for an explicit input assignment.
+func (m *Model) Initial(inputs []int) *State {
+	hist := make([][][]string, m.n)
+	consumed := make([][]int, m.n)
+	plocal := make([]string, m.n)
+	for i := 0; i < m.n; i++ {
+		hist[i] = make([][]string, m.n)
+		consumed[i] = make([]int, m.n)
+		plocal[i] = m.p.Init(m.n, i, inputs[i])
+	}
+	return newState(m.p, hist, consumed, plocal, append([]int(nil), inputs...))
+}
+
+// phaseSend emits process i's messages (computed from its pre-phase state).
+func (m *Model) phaseSend(w *working, i int) {
+	outs := m.p.Send(w.plocal[i])
+	for d := 0; d < w.n && d < len(outs); d++ {
+		if d == i || outs[d] == "" {
+			continue
+		}
+		w.hist[i][d] = append(w.hist[i][d], outs[d])
+	}
+}
+
+// phaseReceive delivers everything outstanding for i and updates its state.
+func (m *Model) phaseReceive(w *working, i int) {
+	in := make([][]string, w.n)
+	for j := 0; j < w.n; j++ {
+		in[j] = w.hist[j][i][w.consumed[i][j]:]
+		w.consumed[i][j] = len(w.hist[j][i])
+	}
+	w.plocal[i] = m.p.Receive(w.plocal[i], in)
+}
+
+// phase performs one complete local phase of process i: send (from the
+// pre-phase state), then receive everything outstanding.
+func (m *Model) phase(w *working, i int) {
+	m.phaseSend(w, i)
+	m.phaseReceive(w, i)
+}
+
+// Sequential applies the local phases of the given processes in order (an
+// action of the first or second type). The slice may list fewer than n
+// processes.
+func (m *Model) Sequential(x *State, order []int) *State {
+	w := x.thaw()
+	for _, i := range order {
+		m.phase(w, i)
+	}
+	return w.freeze(m.p, x.inputs)
+}
+
+// WithPair applies the action [order[0..k-1], {order[k],order[k+1]},
+// order[k+2..]]: sequential phases with the processes at positions k and
+// k+1 run as a concurrent block — both send from their pre-block states,
+// then both receive everything outstanding (including each other's fresh
+// message).
+func (m *Model) WithPair(x *State, order []int, k int) *State {
+	w := x.thaw()
+	for idx := 0; idx < len(order); idx++ {
+		if idx == k {
+			a, b := order[k], order[k+1]
+			m.phaseSend(w, a)
+			m.phaseSend(w, b)
+			m.phaseReceive(w, a)
+			m.phaseReceive(w, b)
+			idx++
+			continue
+		}
+		m.phase(w, order[idx])
+	}
+	return w.freeze(m.p, x.inputs)
+}
+
+// Successors implements core.Model: one successor per action of the three
+// types. Full permutations are labeled "[0,1,2]", drop-one actions omit one
+// process ("[0,2]"), and concurrent-pair actions mark the block
+// ("[0,{1,2}]"); pairs are emitted once, with the block in ascending order.
+func (m *Model) Successors(x core.State) []core.Succ {
+	s, ok := x.(*State)
+	if !ok {
+		return nil
+	}
+	var out []core.Succ
+	perms := permutations(m.n)
+	for _, p := range perms {
+		out = append(out, core.Succ{
+			Action: permLabel(p, -1),
+			State:  m.Sequential(s, p),
+		})
+	}
+	for _, p := range perms {
+		// Drop the last process of the permutation: every ordered
+		// (n-1)-sequence arises exactly once this way.
+		out = append(out, core.Succ{
+			Action: permLabel(p[:m.n-1], -1),
+			State:  m.Sequential(s, p[:m.n-1]),
+		})
+	}
+	for _, p := range perms {
+		for k := 0; k+1 < m.n; k++ {
+			if p[k] > p[k+1] {
+				continue // emit each unordered block once
+			}
+			out = append(out, core.Succ{
+				Action: permLabel(p, k),
+				State:  m.WithPair(s, p, k),
+			})
+		}
+	}
+	return out
+}
+
+// permLabel formats a scheduling action; pair >= 0 marks the concurrent
+// block starting at that position, -1 means none.
+func permLabel(order []int, pair int) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < len(order); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if i == pair {
+			b.WriteByte('{')
+			b.WriteString(strconv.Itoa(order[i]))
+			b.WriteByte(',')
+			b.WriteString(strconv.Itoa(order[i+1]))
+			b.WriteByte('}')
+			i++
+			continue
+		}
+		b.WriteString(strconv.Itoa(order[i]))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// permutations returns all permutations of 0..n-1 in lexicographic order.
+func permutations(n int) [][]int {
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+	}
+	var out [][]int
+	for {
+		out = append(out, append([]int(nil), cur...))
+		// Next lexicographic permutation.
+		i := n - 2
+		for i >= 0 && cur[i] >= cur[i+1] {
+			i--
+		}
+		if i < 0 {
+			return out
+		}
+		j := n - 1
+		for cur[j] <= cur[i] {
+			j--
+		}
+		cur[i], cur[j] = cur[j], cur[i]
+		for l, r := i+1, n-1; l < r; l, r = l+1, r-1 {
+			cur[l], cur[r] = cur[r], cur[l]
+		}
+	}
+}

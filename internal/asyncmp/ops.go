@@ -1,0 +1,99 @@
+package asyncmp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The op-level executor gives the asynchronous message-passing model its
+// primitive semantics — individual send and receive events in an arbitrary
+// interleaving — independently of the permutation actions. It makes the
+// layering claim executable: every S^per action must coincide with a legal
+// interleaving of local phases (checked in the package tests for every
+// action under the full-information protocol).
+
+// OpKind distinguishes primitive events.
+type OpKind int
+
+// Primitive event kinds. A local phase of process P is SendOp(P) followed
+// later by RecvOp(P); the emission is computed from P's state at the start
+// of the phase, and the receive delivers everything outstanding at its
+// moment of execution.
+const (
+	// SendOp emits process P's phase messages.
+	SendOp OpKind = iota + 1
+	// RecvOp delivers everything outstanding for P and completes its phase.
+	RecvOp
+)
+
+// Op is a primitive event.
+type Op struct {
+	Kind OpKind
+	P    int
+}
+
+// ErrBadOpSequence is returned when an op sequence is not a legal set of
+// local phases.
+var ErrBadOpSequence = errors.New("asyncmp: op sequence is not a set of legal local phases")
+
+// ApplyOps executes a primitive interleaving in which each process
+// performs at most one local phase (one SendOp then one RecvOp).
+func (m *Model) ApplyOps(x *State, ops []Op) (*State, error) {
+	w := x.thaw()
+	sent := make([]bool, m.n)
+	received := make([]bool, m.n)
+	for _, op := range ops {
+		if op.P < 0 || op.P >= m.n {
+			return nil, fmt.Errorf("process %d out of range: %w", op.P, ErrBadOpSequence)
+		}
+		switch op.Kind {
+		case SendOp:
+			if sent[op.P] || received[op.P] {
+				return nil, fmt.Errorf("process %d sends twice: %w", op.P, ErrBadOpSequence)
+			}
+			sent[op.P] = true
+			m.phaseSend(w, op.P)
+		case RecvOp:
+			if received[op.P] {
+				return nil, fmt.Errorf("process %d receives twice: %w", op.P, ErrBadOpSequence)
+			}
+			if !sent[op.P] {
+				return nil, fmt.Errorf("process %d receives before sending: %w", op.P, ErrBadOpSequence)
+			}
+			received[op.P] = true
+			m.phaseReceive(w, op.P)
+		default:
+			return nil, fmt.Errorf("unknown op kind %d: %w", op.Kind, ErrBadOpSequence)
+		}
+	}
+	return w.freeze(m.p, x.inputs), nil
+}
+
+// SequentialOps expands a sequential scheduling action into its op-level
+// interleaving: each listed process sends then receives before the next
+// starts.
+func SequentialOps(order []int) []Op {
+	ops := make([]Op, 0, 2*len(order))
+	for _, p := range order {
+		ops = append(ops, Op{Kind: SendOp, P: p}, Op{Kind: RecvOp, P: p})
+	}
+	return ops
+}
+
+// PairOps expands the concurrent-pair action: at position k both block
+// members send before either receives.
+func PairOps(order []int, k int) []Op {
+	var ops []Op
+	for idx := 0; idx < len(order); idx++ {
+		if idx == k {
+			a, b := order[k], order[k+1]
+			ops = append(ops,
+				Op{Kind: SendOp, P: a}, Op{Kind: SendOp, P: b},
+				Op{Kind: RecvOp, P: a}, Op{Kind: RecvOp, P: b})
+			idx++
+			continue
+		}
+		ops = append(ops, Op{Kind: SendOp, P: order[idx]}, Op{Kind: RecvOp, P: order[idx]})
+	}
+	return ops
+}

@@ -1,0 +1,95 @@
+package asyncmp_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/asyncmp"
+	"repro/internal/protocols"
+)
+
+// TestPermutationLayeringLegality: every S^per action equals the op-level
+// execution of its defining interleaving of legal local phases (Lemma 4.3's
+// executable face for the permutation layering).
+func TestPermutationLayeringLegality(t *testing.T) {
+	const n = 3
+	m := asyncmp.New(protocols.MPFullInfo{}, n)
+	perms := [][]int{{0, 1, 2}, {1, 0, 2}, {2, 1, 0}, {1, 2, 0}, {0, 2, 1}, {2, 0, 1}}
+	for a := 0; a < 1<<n; a++ {
+		x := m.Initial([]int{a & 1, (a >> 1) & 1, (a >> 2) & 1})
+		for _, p := range perms {
+			want := m.Sequential(x, p)
+			got, err := m.ApplyOps(x, asyncmp.SequentialOps(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Key() != want.Key() {
+				t.Errorf("perm %v: action and op semantics differ", p)
+			}
+			// Drop-one action.
+			want = m.Sequential(x, p[:n-1])
+			got, err = m.ApplyOps(x, asyncmp.SequentialOps(p[:n-1]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Key() != want.Key() {
+				t.Errorf("prefix %v: action and op semantics differ", p[:n-1])
+			}
+			// Concurrent-pair actions.
+			for k := 0; k+1 < n; k++ {
+				want = m.WithPair(x, p, k)
+				got, err = m.ApplyOps(x, asyncmp.PairOps(p, k))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Key() != want.Key() {
+					t.Errorf("perm %v pair@%d: action and op semantics differ", p, k)
+				}
+			}
+		}
+	}
+}
+
+// TestApplyOpsRejectsIllegalPhases checks the legality guards.
+func TestApplyOpsRejectsIllegalPhases(t *testing.T) {
+	m := asyncmp.New(protocols.MPFlood{Phases: 2}, 2)
+	x := m.Initial([]int{0, 1})
+	cases := [][]asyncmp.Op{
+		{{Kind: asyncmp.RecvOp, P: 0}},                                                             // receive before send
+		{{Kind: asyncmp.SendOp, P: 0}, {Kind: asyncmp.SendOp, P: 0}},                               // double send
+		{{Kind: asyncmp.SendOp, P: 5}},                                                             // out of range
+		{{Kind: asyncmp.SendOp, P: 0}, {Kind: asyncmp.RecvOp, P: 0}, {Kind: asyncmp.RecvOp, P: 0}}, // double receive
+	}
+	for i, ops := range cases {
+		if _, err := m.ApplyOps(x, ops); !errors.Is(err, asyncmp.ErrBadOpSequence) {
+			t.Errorf("case %d: err = %v, want ErrBadOpSequence", i, err)
+		}
+	}
+}
+
+// TestInterleavedPhasesBeyondLayerActions: the op executor also runs
+// interleavings S^per does NOT offer (fully overlapping phases), and the
+// result still makes sense — the submodel restricts the environment, not
+// the semantics. Here all three processes send before anyone receives: the
+// "all concurrent" block, in which everyone sees everyone.
+func TestInterleavedPhasesBeyondLayerActions(t *testing.T) {
+	const n = 3
+	m := asyncmp.New(protocols.MPFullInfo{}, n)
+	x := m.Initial([]int{0, 1, 1})
+	ops := []asyncmp.Op{
+		{Kind: asyncmp.SendOp, P: 0}, {Kind: asyncmp.SendOp, P: 1}, {Kind: asyncmp.SendOp, P: 2},
+		{Kind: asyncmp.RecvOp, P: 0}, {Kind: asyncmp.RecvOp, P: 1}, {Kind: asyncmp.RecvOp, P: 2},
+	}
+	y, err := m.ApplyOps(x, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everyone consumed everyone's phase message: nothing outstanding.
+	for i := 0; i < n; i++ {
+		for j, msgs := range y.Outstanding(i) {
+			if len(msgs) != 0 {
+				t.Errorf("outstanding %d->%d after all-concurrent block", j, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package asyncmp
+
+import (
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// State is a global state of the asynchronous message-passing model: the
+// cumulative channel histories (environment), each process's protocol state
+// and per-channel consumption counters (local states). Immutable after
+// construction.
+type State struct {
+	n        int
+	hist     [][][]string // hist[from][to] = every message ever sent from->to
+	consumed [][]int      // consumed[to][from] = prefix of hist[from][to] delivered
+	plocal   []string     // protocol states
+	decided  []int
+	inputs   []int
+	localKey []string
+	envKey   string
+	key      string
+}
+
+var (
+	_ core.State = (*State)(nil)
+	_ core.Input = (*State)(nil)
+)
+
+// newState assembles an immutable state from owned (not aliased) slices.
+func newState(p proto.Decider, hist [][][]string, consumed [][]int, plocal []string, inputs []int) *State {
+	n := len(plocal)
+	s := &State{
+		n:        n,
+		hist:     hist,
+		consumed: consumed,
+		plocal:   plocal,
+		decided:  make([]int, n),
+		inputs:   inputs,
+		localKey: make([]string, n),
+	}
+	for i, l := range plocal {
+		if v, ok := p.Decide(l); ok {
+			s.decided[i] = v
+		} else {
+			s.decided[i] = core.Undecided
+		}
+	}
+	// Environment: the channel histories.
+	chans := make([]string, 0, n*n)
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			chans = append(chans, proto.Join(hist[from][to]...))
+		}
+	}
+	s.envKey = proto.Join(chans...)
+	// Locals: protocol state plus consumption counters.
+	for i := 0; i < n; i++ {
+		s.localKey[i] = proto.Join(plocal[i], proto.JoinInts(consumed[i]...))
+	}
+	fields := make([]string, 0, n+1)
+	fields = append(fields, s.envKey)
+	fields = append(fields, s.localKey...)
+	s.key = proto.Join(fields...)
+	return s
+}
+
+// N implements core.State.
+func (s *State) N() int { return s.n }
+
+// Key implements core.State.
+func (s *State) Key() string { return s.key }
+
+// EnvKey implements core.State.
+func (s *State) EnvKey() string { return s.envKey }
+
+// Local implements core.State.
+func (s *State) Local(i int) string { return s.localKey[i] }
+
+// Decided implements core.State.
+func (s *State) Decided(i int) (int, bool) {
+	if s.decided[i] == core.Undecided {
+		return core.Undecided, false
+	}
+	return s.decided[i], true
+}
+
+// FailedAt implements core.State: the model displays no finite failure.
+func (s *State) FailedAt(int) bool { return false }
+
+// InputOf implements core.Input.
+func (s *State) InputOf(i int) int { return s.inputs[i] }
+
+// ProtocolState returns process i's protocol state.
+func (s *State) ProtocolState(i int) string { return s.plocal[i] }
+
+// Outstanding returns the messages outstanding for process i, per sender.
+func (s *State) Outstanding(i int) [][]string {
+	out := make([][]string, s.n)
+	for j := 0; j < s.n; j++ {
+		pending := s.hist[j][i][s.consumed[i][j]:]
+		out[j] = append([]string(nil), pending...)
+	}
+	return out
+}
+
+// working is a mutable copy of a state used while applying a layer action.
+type working struct {
+	n        int
+	hist     [][][]string
+	consumed [][]int
+	plocal   []string
+}
+
+func (s *State) thaw() *working {
+	w := &working{
+		n:        s.n,
+		hist:     make([][][]string, s.n),
+		consumed: make([][]int, s.n),
+		plocal:   append([]string(nil), s.plocal...),
+	}
+	for from := 0; from < s.n; from++ {
+		w.hist[from] = make([][]string, s.n)
+		for to := 0; to < s.n; to++ {
+			// Histories are append-only; a shallow copy of the slice header
+			// would alias the backing array across sibling successors, so
+			// copy explicitly.
+			w.hist[from][to] = append([]string(nil), s.hist[from][to]...)
+		}
+	}
+	for to := 0; to < s.n; to++ {
+		w.consumed[to] = append([]int(nil), s.consumed[to]...)
+	}
+	return w
+}
+
+func (w *working) freeze(p proto.Decider, inputs []int) *State {
+	return newState(p, w.hist, w.consumed, w.plocal, inputs)
+}

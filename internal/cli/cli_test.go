@@ -1,0 +1,53 @@
+package cli_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+func TestBuildAllModels(t *testing.T) {
+	for _, name := range cli.Models() {
+		spec := cli.Spec{Model: name, N: 3, T: 1, Bound: 2}
+		m, err := cli.Build(spec)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(m.Inits()) != 8 {
+			t.Errorf("%s: %d initial states, want 8", name, len(m.Inits()))
+		}
+		if succ := m.Successors(m.Inits()[0]); len(succ) == 0 {
+			t.Errorf("%s: empty layer", name)
+		}
+	}
+}
+
+func TestBuildFullInfoVariants(t *testing.T) {
+	for _, name := range cli.Models() {
+		m, err := cli.Build(cli.Spec{Model: name, N: 3, T: 1, FullInfo: true})
+		if err != nil {
+			t.Errorf("%s fullinfo: %v", name, err)
+			continue
+		}
+		if !strings.Contains(m.Name(), "fullinfo") {
+			t.Errorf("%s fullinfo: model name %q", name, m.Name())
+		}
+	}
+}
+
+func TestBuildRejectsBadSpecs(t *testing.T) {
+	bad := []cli.Spec{
+		{Model: "mobile", N: 1, Bound: 2},        // n too small
+		{Model: "mobile", N: 3, Bound: 0},        // missing bound
+		{Model: "sync-st", N: 3, T: 0, Bound: 2}, // t out of range
+		{Model: "sync-st", N: 3, T: 2, Bound: 2}, // t > n-2
+		{Model: "no-such-model", N: 3, T: 1, Bound: 2},
+	}
+	for i, spec := range bad {
+		if _, err := cli.Build(spec); err == nil {
+			t.Errorf("case %d (%+v): want error", i, spec)
+		}
+	}
+}

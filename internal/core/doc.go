@@ -1,0 +1,21 @@
+// Package core defines the model-independent abstractions of the layered
+// analysis framework of Moses & Rajsbaum (PODC 1998): global states, runs,
+// executions, successor functions, layerings, and the similarity relation
+// between states.
+//
+// The paper analyzes distributed systems as sets of runs over global states,
+// where a global state assigns a local state to each of n processes and to a
+// distinguished environment. All of the paper's reasoning observes states
+// only through (a) equality of local and environment states ("agree modulo
+// j"), (b) the write-once decision variable of each process, and (c) which
+// processes are failed at a state. The State interface exposes exactly these
+// observables through canonical string encodings, which makes states from any
+// model hashable and comparable in a uniform way.
+//
+// A Successor (the paper's successor function S : G -> 2^G \ {∅}) generates
+// the submodel R_S: the set of S-runs starting from designated initial
+// states. Concrete models (internal/syncmp, internal/mobile, internal/shmem,
+// internal/asyncmp) provide Successor implementations for the paper's four
+// layerings: S1, S^t, the synchronic layering S^rw, and the permutation
+// layering S^per.
+package core

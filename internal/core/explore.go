@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrDepthExceeded is returned by Explore when the reachable state graph
+// exceeds the configured node budget before the depth bound is reached.
+var ErrDepthExceeded = errors.New("core: exploration exceeded node budget")
+
+// Edge is one labeled edge of an explored state graph, identified by state
+// keys.
+type Edge struct {
+	Action string
+	To     string
+}
+
+// Graph is the explicit reachable state graph of a model, explored
+// breadth-first to a depth bound. It is the substrate for the connectivity
+// and valence analyses.
+type Graph struct {
+	// Nodes maps a state key to the state.
+	Nodes map[string]State
+	// Edges maps a state key to its outgoing labeled edges, in successor
+	// order. Only states at depth < Depth have edges recorded.
+	Edges map[string][]Edge
+	// DepthOf maps a state key to the first (minimum) layer depth at which
+	// the state was reached.
+	DepthOf map[string]int
+	// InitKeys are the keys of the initial states, in Inits order
+	// (duplicates removed, first occurrence kept).
+	InitKeys []string
+	// Depth is the exploration depth bound.
+	Depth int
+}
+
+// Explore builds the reachable state graph of m to the given depth. maxNodes
+// bounds the total number of distinct states; 0 means no bound. It returns
+// ErrDepthExceeded (wrapped) if the budget is exhausted.
+func Explore(m Model, depth, maxNodes int) (*Graph, error) {
+	g := &Graph{
+		Nodes:   make(map[string]State),
+		Edges:   make(map[string][]Edge),
+		DepthOf: make(map[string]int),
+		Depth:   depth,
+	}
+	var frontier []string
+	for _, x := range m.Inits() {
+		k := x.Key()
+		if _, seen := g.Nodes[k]; seen {
+			continue
+		}
+		g.Nodes[k] = x
+		g.DepthOf[k] = 0
+		g.InitKeys = append(g.InitKeys, k)
+		frontier = append(frontier, k)
+	}
+	for d := 0; d < depth; d++ {
+		var next []string
+		for _, k := range frontier {
+			x := g.Nodes[k]
+			succs := m.Successors(x)
+			edges := make([]Edge, 0, len(succs))
+			for _, s := range succs {
+				sk := s.State.Key()
+				edges = append(edges, Edge{Action: s.Action, To: sk})
+				if _, seen := g.Nodes[sk]; !seen {
+					if maxNodes > 0 && len(g.Nodes) >= maxNodes {
+						return nil, fmt.Errorf("at depth %d (%d nodes): %w", d+1, len(g.Nodes), ErrDepthExceeded)
+					}
+					g.Nodes[sk] = s.State
+					g.DepthOf[sk] = d + 1
+					next = append(next, sk)
+				}
+			}
+			g.Edges[k] = edges
+		}
+		frontier = next
+	}
+	return g, nil
+}
+
+// StatesAtDepth returns the states first reached at exactly depth d, sorted
+// by key for determinism.
+func (g *Graph) StatesAtDepth(d int) []State {
+	var keys []string
+	for k, kd := range g.DepthOf {
+		if kd == d {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]State, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, g.Nodes[k])
+	}
+	return out
+}
+
+// Len returns the number of distinct states in the graph.
+func (g *Graph) Len() int { return len(g.Nodes) }
+
+// CheckDeterminism verifies that the model's successor function is
+// deterministic on every explored state: a second invocation returns the
+// same labeled successors in the same order. Admissibility (the paper's
+// pasting condition) holds by construction for R_S when S is a function of
+// the state alone; determinism is the executable face of that requirement.
+func (g *Graph) CheckDeterminism(m Model) error {
+	for k, edges := range g.Edges {
+		again := m.Successors(g.Nodes[k])
+		if len(again) != len(edges) {
+			return fmt.Errorf("core: successor count changed for state %q: %d then %d", k, len(edges), len(again))
+		}
+		for i, s := range again {
+			if s.Action != edges[i].Action || s.State.Key() != edges[i].To {
+				return fmt.Errorf("core: successor %d changed for state %q: (%s,%s) then (%s,%s)",
+					i, k, edges[i].Action, edges[i].To, s.Action, s.State.Key())
+			}
+		}
+	}
+	return nil
+}

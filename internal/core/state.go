@@ -1,0 +1,134 @@
+package core
+
+// Undecided is the sentinel returned by decision accessors when a process's
+// write-once decision variable d_i is still ⊥.
+const Undecided = -1
+
+// State is a global state of a distributed system: a local state for each of
+// the n processes plus a local state for the environment. The environment
+// captures everything that is not process-local — messages in transit, the
+// contents of shared variables, and (in the t-resilient synchronous model)
+// the record of which processes have failed.
+//
+// Implementations must be immutable: every accessor must return the same
+// answer for the lifetime of the value, and transitions must produce fresh
+// State values.
+type State interface {
+	// N returns the number of processes (the paper assumes n >= 2).
+	N() int
+
+	// Key returns a canonical encoding of the entire global state. Two
+	// states of the same model are equal exactly if their Keys are equal.
+	Key() string
+
+	// EnvKey returns a canonical encoding of the environment's local state.
+	EnvKey() string
+
+	// Local returns a canonical encoding of process i's local state, for
+	// 0 <= i < N(). Two states agree modulo j exactly if their EnvKeys are
+	// equal and their Locals are equal for every i != j.
+	Local(i int) string
+
+	// Decided reports process i's write-once decision variable: the decided
+	// value and true, or (Undecided, false) if i has not decided.
+	Decided(i int) (int, bool)
+
+	// FailedAt reports whether process i is failed at this state, i.e.
+	// faulty in every run of the system in which the state appears. Models
+	// that display "no finite failure" (the asynchronous ones and M^mf)
+	// always return false.
+	FailedAt(i int) bool
+}
+
+// Input is implemented by states that remember the consensus inputs the run
+// started from; the validity requirement is checked against these.
+type Input interface {
+	// InputOf returns process i's initial value.
+	InputOf(i int) int
+}
+
+// AgreeModulo reports whether x and y agree modulo j: their environments are
+// equal and the local states of every process other than j are equal.
+func AgreeModulo(x, y State, j int) bool {
+	if x.N() != y.N() {
+		return false
+	}
+	if x.EnvKey() != y.EnvKey() {
+		return false
+	}
+	for i := 0; i < x.N(); i++ {
+		if i == j {
+			continue
+		}
+		if x.Local(i) != y.Local(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Similar reports whether x ~s y per Definition 3.1: there is a process j
+// such that x and y agree modulo j and some process i != j is non-failed in
+// both x and y. It returns the witnessing j.
+func Similar(x, y State) (j int, ok bool) {
+	if x.N() != y.N() {
+		return 0, false
+	}
+	n := x.N()
+	for j := 0; j < n; j++ {
+		if !AgreeModulo(x, y, j) {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if i == j {
+				continue
+			}
+			if !x.FailedAt(i) && !y.FailedAt(i) {
+				return j, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// DecidedValues returns the set of values decided by processes that are not
+// failed at x, as a bitmask over {0,1,...}: bit v is set if some non-failed
+// process has decided v. Only small non-negative values (v < 63) are
+// representable, which covers every decision problem in this repository.
+func DecidedValues(x State) uint64 {
+	var mask uint64
+	for i := 0; i < x.N(); i++ {
+		if x.FailedAt(i) {
+			continue
+		}
+		if v, ok := x.Decided(i); ok && v >= 0 && v < 63 {
+			mask |= 1 << uint(v)
+		}
+	}
+	return mask
+}
+
+// AllDecided reports whether every process that is not failed at x has
+// decided.
+func AllDecided(x State) bool {
+	for i := 0; i < x.N(); i++ {
+		if x.FailedAt(i) {
+			continue
+		}
+		if _, ok := x.Decided(i); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FailedCount returns the number of processes failed at x.
+func FailedCount(x State) int {
+	c := 0
+	for i := 0; i < x.N(); i++ {
+		if x.FailedAt(i) {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,104 @@
+package core
+
+// Succ is one labeled successor of a state: the environment action that was
+// applied (in the paper's notation, e.g. "(j,[k])", "(j,A)", or a scheduling
+// permutation) and the resulting state.
+type Succ struct {
+	// Action is a human-readable canonical label for the environment action
+	// that produced the transition. Actions are unique within a layer: a
+	// Successor never returns two Succs with equal Action for the same
+	// source state (though two distinct actions may yield equal states).
+	Action string
+
+	// State is the resulting global state.
+	State State
+}
+
+// Successor is the paper's successor function S : G -> 2^G \ {∅}. For every
+// state x it enumerates a non-empty set of labeled successors S(x). A run r
+// with r(m+1) ∈ S(r(m)) for all m is an S-run; the set of S-runs from the
+// initial states is the submodel R_S.
+//
+// Implementations must be deterministic: repeated calls with equal states
+// (equal Keys) return the same successors in the same order.
+type Successor interface {
+	// Successors returns the labeled elements of S(x).
+	Successors(x State) []Succ
+}
+
+// SuccessorFunc adapts a function to the Successor interface.
+type SuccessorFunc func(State) []Succ
+
+var _ Successor = (SuccessorFunc)(nil)
+
+// Successors implements Successor.
+func (f SuccessorFunc) Successors(x State) []Succ { return f(x) }
+
+// Model couples a successor function with its set of initial states. For a
+// system for consensus, Inits is exactly Con_0: one initial state per binary
+// input assignment, with the environment in the same local state in all of
+// them.
+type Model interface {
+	Successor
+
+	// Inits enumerates the initial states, in a deterministic order.
+	Inits() []State
+
+	// Name identifies the model/layering (e.g. "mobile/S1", "shmem/Srw").
+	Name() string
+}
+
+// Step is one transition of an execution.
+type Step struct {
+	Action string
+	State  State
+}
+
+// Execution is a finite execution: an initial state followed by labeled
+// steps. The paper's runs are infinite; executions are the finite prefixes
+// the framework manipulates and reports as witnesses.
+type Execution struct {
+	Init  State
+	Steps []Step
+}
+
+// Last returns the final state of the execution.
+func (e *Execution) Last() State {
+	if len(e.Steps) == 0 {
+		return e.Init
+	}
+	return e.Steps[len(e.Steps)-1].State
+}
+
+// Len returns the number of steps (layers) in the execution.
+func (e *Execution) Len() int { return len(e.Steps) }
+
+// States returns the state sequence of the execution, including the initial
+// state, as a fresh slice.
+func (e *Execution) States() []State {
+	out := make([]State, 0, len(e.Steps)+1)
+	out = append(out, e.Init)
+	for _, s := range e.Steps {
+		out = append(out, s.State)
+	}
+	return out
+}
+
+// Actions returns the action-label sequence of the execution as a fresh
+// slice.
+func (e *Execution) Actions() []string {
+	out := make([]string, 0, len(e.Steps))
+	for _, s := range e.Steps {
+		out = append(out, s.Action)
+	}
+	return out
+}
+
+// Extend returns a new execution with one more step appended; the receiver
+// is not modified.
+func (e *Execution) Extend(action string, to State) *Execution {
+	steps := make([]Step, 0, len(e.Steps)+1)
+	steps = append(steps, e.Steps...)
+	steps = append(steps, Step{Action: action, State: to})
+	return &Execution{Init: e.Init, Steps: steps}
+}

@@ -1,0 +1,188 @@
+package decision
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/simplex"
+	"repro/internal/valence"
+)
+
+// TaskWitnessKind classifies the outcome of certifying a protocol against
+// a general decision problem.
+type TaskWitnessKind int
+
+// Task certification outcomes.
+const (
+	TaskOK TaskWitnessKind = iota + 1
+	TaskOutputViolation
+	TaskUndecidedAtBound
+	TaskDecisionChanged
+)
+
+// String returns a human-readable name.
+func (k TaskWitnessKind) String() string {
+	switch k {
+	case TaskOK:
+		return "ok"
+	case TaskOutputViolation:
+		return "output outside Δ(input)"
+	case TaskUndecidedAtBound:
+		return "undecided at bound"
+	case TaskDecisionChanged:
+		return "write-once decision changed"
+	default:
+		return fmt.Sprintf("TaskWitnessKind(%d)", int(k))
+	}
+}
+
+// TaskWitness is the outcome of CertifyTask.
+type TaskWitness struct {
+	Kind     TaskWitnessKind
+	Exec     *core.Execution
+	Detail   string
+	Explored int
+}
+
+// CertifyTask exhaustively checks that a protocol solves the decision
+// problem over the layered submodel: on every run of at most `bound`
+// layers from each of the given initial states, decisions are write-once,
+// every process non-failed at the bound-layer state has decided, and the
+// decided output simplex (restricted to non-failed processes) is a face of
+// some simplex in delta(input simplex of the run). Agreement is NOT
+// required — that is the point of general decision problems.
+//
+// The initial states must expose their inputs (core.Input). maxVisits caps
+// the search (0 = unbounded).
+func CertifyTask(m core.Model, inits []core.State, delta simplex.DeltaFunc, bound, maxVisits int) (*TaskWitness, error) {
+	c := &taskCertifier{
+		m:         m,
+		delta:     delta,
+		bound:     bound,
+		maxVisits: maxVisits,
+		memo:      make(map[string]bool),
+	}
+	for _, init := range inits {
+		in, ok := init.(core.Input)
+		if !ok {
+			return nil, fmt.Errorf("decision: initial state does not expose inputs")
+		}
+		vals := make([]int, init.N())
+		for i := range vals {
+			vals[i] = in.InputOf(i)
+		}
+		inputSimplex := simplex.FromValues(vals)
+		allowed := delta(inputSimplex)
+		if len(allowed) == 0 {
+			return nil, fmt.Errorf("decision: Δ(%s) is empty", inputSimplex)
+		}
+		exec := &core.Execution{Init: init}
+		w, err := c.dfs(init, bound, inputSimplex.Key(), allowed, exec)
+		if err != nil {
+			return nil, err
+		}
+		if w != nil {
+			w.Explored = c.visits
+			return w, nil
+		}
+	}
+	return &TaskWitness{Kind: TaskOK, Explored: c.visits}, nil
+}
+
+type taskCertifier struct {
+	m         core.Model
+	delta     simplex.DeltaFunc
+	bound     int
+	maxVisits int
+	visits    int
+	memo      map[string]bool // (stateKey|depth|inputKey) -> subtree clean
+}
+
+func (c *taskCertifier) dfs(x core.State, remaining int, inputKey string, allowed []simplex.Simplex, exec *core.Execution) (*TaskWitness, error) {
+	mk := fmt.Sprintf("%s|%d|%s", x.Key(), remaining, inputKey)
+	if c.memo[mk] {
+		return nil, nil
+	}
+	c.visits++
+	if c.maxVisits > 0 && c.visits > c.maxVisits {
+		return nil, fmt.Errorf("after %d visits: %w", c.visits, valence.ErrBudget)
+	}
+
+	// Partial-output check: the decisions made so far by non-failed
+	// processes must be extendable to an allowed output (i.e. be a face of
+	// some simplex in Δ(input)).
+	if w := checkPartialOutput(x, allowed); w != nil {
+		w.Exec = exec
+		return w, nil
+	}
+	if remaining == 0 {
+		if !core.AllDecided(x) {
+			return &TaskWitness{
+				Kind:   TaskUndecidedAtBound,
+				Exec:   exec,
+				Detail: fmt.Sprintf("a non-failed process is undecided after %d layers", c.bound),
+			}, nil
+		}
+		c.memo[mk] = true
+		return nil, nil
+	}
+	for _, s := range c.m.Successors(x) {
+		if w := checkTaskWriteOnce(x, s.State); w != nil {
+			w.Exec = exec.Extend(s.Action, s.State)
+			return w, nil
+		}
+		w, err := c.dfs(s.State, remaining-1, inputKey, allowed, exec.Extend(s.Action, s.State))
+		if err != nil || w != nil {
+			return w, err
+		}
+	}
+	c.memo[mk] = true
+	return nil, nil
+}
+
+// checkPartialOutput verifies the decided-so-far simplex is a face of some
+// allowed output simplex.
+func checkPartialOutput(x core.State, allowed []simplex.Simplex) *TaskWitness {
+	var verts []simplex.Vertex
+	for i := 0; i < x.N(); i++ {
+		if x.FailedAt(i) {
+			continue
+		}
+		if v, ok := x.Decided(i); ok {
+			verts = append(verts, simplex.Vertex{ID: i, Value: v})
+		}
+	}
+	if len(verts) == 0 {
+		return nil
+	}
+	partial, err := simplex.New(verts...)
+	if err != nil {
+		return &TaskWitness{Kind: TaskOutputViolation, Detail: err.Error()}
+	}
+	for _, a := range allowed {
+		if a.Contains(partial) {
+			return nil
+		}
+	}
+	return &TaskWitness{
+		Kind:   TaskOutputViolation,
+		Detail: fmt.Sprintf("decisions %s extend no simplex of Δ(input)", partial),
+	}
+}
+
+func checkTaskWriteOnce(x, y core.State) *TaskWitness {
+	for i := 0; i < x.N(); i++ {
+		v, ok := x.Decided(i)
+		if !ok {
+			continue
+		}
+		w, ok2 := y.Decided(i)
+		if !ok2 || w != v {
+			return &TaskWitness{
+				Kind:   TaskDecisionChanged,
+				Detail: fmt.Sprintf("process %d had decided %d but successor reports (%d,%v)", i, v, w, ok2),
+			}
+		}
+	}
+	return nil
+}

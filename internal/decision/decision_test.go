@@ -1,0 +1,224 @@
+package decision_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/decision"
+	"repro/internal/mobile"
+	"repro/internal/protocols"
+	"repro/internal/syncmp"
+	"repro/internal/valence"
+)
+
+// TestConsensusCoveringMatchesBinaryValence cross-validates the Section 7
+// machinery against Section 3: in a model/protocol where agreement holds
+// (FloodSet(t+1) under S^t), all decided simplexes are constant, the
+// consensus covering is a genuine covering, and generalized valence must
+// coincide with classical binary valence on every reachable state.
+func TestConsensusCoveringMatchesBinaryValence(t *testing.T) {
+	const n, tt = 3, 1
+	rounds := tt + 1
+	p := protocols.FloodSet{Rounds: rounds}
+	m := syncmp.NewSt(p, n, tt)
+	bin := valence.NewOracle(m)
+	gen := decision.NewOracle(m, decision.ConsensusCovering(n))
+
+	g, err := core.Explore(m, rounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range g.Nodes {
+		s := x.(*syncmp.State)
+		h := rounds - s.Round()
+		bv := bin.Valences(x, h)
+		gv := gen.Valences(x, h)
+		if bv != gv {
+			t.Errorf("round %d state: binary valence %02b != generalized %02b", s.Round(), bv, gv)
+		}
+	}
+}
+
+// TestMixedSimplexesEscapeConsensusCovering documents the flip side: in
+// M^mf FloodSet violates agreement, so mixed decided simplexes exist and
+// the consensus covering fails covering condition (i) there.
+func TestMixedSimplexesEscapeConsensusCovering(t *testing.T) {
+	const n, rounds = 3, 2
+	p := protocols.FloodSet{Rounds: rounds}
+	m := mobile.New(p, n)
+	decided, err := decision.CollectDecidedSimplexes(m, rounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := decision.CheckCovering(decision.ConsensusCovering(n), decided); ok {
+		t.Error("consensus covering accepted despite agreement violations in M^mf")
+	}
+	// The min-value covering, by contrast, always covers.
+	if ok, reason := decision.CheckCovering(decision.MinValueCovering(decided), decided); !ok {
+		t.Errorf("min-value covering rejected: %s", reason)
+	}
+}
+
+// TestMinValueCoveringUnivalentInputs documents why the min-value covering
+// is not useful for chain experiments in M^mf: a 0-input holder is never
+// failed at any state (no finite failure), so every mixed-input state is
+// univalent toward O_0.
+func TestMinValueCoveringUnivalentInputs(t *testing.T) {
+	const n, rounds = 3, 2
+	p := protocols.FloodSet{Rounds: rounds}
+	m := mobile.New(p, n)
+	decided, err := decision.CollectDecidedSimplexes(m, rounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := decision.NewOracle(m, decision.MinValueCovering(decided))
+	mixed := m.Initial([]int{0, 1, 1})
+	if o.Bivalent(mixed, rounds) {
+		t.Error("mixed-input state bivalent under min-value covering; every full simplex contains the 0")
+	}
+}
+
+// TestLemma71ChainMobile runs the generalized bivalent chain (Lemma 7.1) in
+// M^mf under the by-process covering of the actually-decided simplexes and
+// checks it reaches its target.
+func TestLemma71ChainMobile(t *testing.T) {
+	const n, rounds = 3, 3
+	p := protocols.FloodSet{Rounds: rounds}
+	m := mobile.New(p, n)
+	decided, err := decision.CollectDecidedSimplexes(m, rounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := decision.CoveringByProcess(decided, n-1)
+	if ok, reason := decision.CheckCovering(cov, decided); !ok {
+		t.Fatalf("by-process covering rejected: %s", reason)
+	}
+	o := decision.NewOracle(m, cov)
+	ch, err := decision.BivalentChain(m, o, func(d int) int {
+		if h := rounds - d; h > 1 {
+			return h
+		}
+		return 1
+	}, rounds-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.StuckAt >= 0 {
+		t.Fatalf("generalized chain stuck at depth %d", ch.StuckAt)
+	}
+	if ch.Reached != rounds-1 {
+		t.Errorf("reached %d, want %d", ch.Reached, rounds-1)
+	}
+}
+
+// TestCheckCovering verifies the covering conditions against the actual
+// decided simplexes of FloodSet runs in the S^t submodel.
+func TestCheckCovering(t *testing.T) {
+	const n, tt = 3, 1
+	rounds := tt + 1
+	p := protocols.FloodSet{Rounds: rounds}
+	m := syncmp.NewSt(p, n, tt)
+	decided, err := decision.CollectDecidedSimplexes(m, rounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decided) == 0 {
+		t.Fatal("no decided simplexes collected")
+	}
+	cover := decision.ConsensusCovering(n)
+	if ok, reason := decision.CheckCovering(cover, decided); !ok {
+		t.Errorf("consensus covering rejected: %s", reason)
+	}
+	// A covering missing O_1 entirely must be rejected.
+	bad := decision.Covering{O0: cover.O0, O1: cover.O0}
+	if ok, _ := decision.CheckCovering(bad, decided); ok {
+		t.Error("degenerate covering accepted")
+	}
+}
+
+// TestDecidedSimplexExcludesFailed checks that failed processes' decisions
+// are not part of the decided output simplex.
+func TestDecidedSimplexExcludesFailed(t *testing.T) {
+	const n, tt = 3, 1
+	rounds := tt + 1
+	p := protocols.FloodSet{Rounds: rounds}
+	m := syncmp.NewSt(p, n, tt)
+	x := m.Initial([]int{0, 1, 1})
+	// Process 0 omits to everyone, then a failure-free round.
+	y := syncmp.ApplyAction(p, x, 0, syncmp.OmitMask(n), true, true)
+	z := syncmp.ApplyAction(p, y, 0, 0, true, true)
+	s, ok := decision.DecidedSimplex(z)
+	if !ok {
+		t.Fatal("non-failed processes should all be decided")
+	}
+	if s.Size() != n-1 {
+		t.Errorf("decided simplex size %d, want %d (failed process excluded)", s.Size(), n-1)
+	}
+	if _, present := s.ValueOf(0); present {
+		t.Error("failed process 0 appears in the decided simplex")
+	}
+}
+
+// TestDiameterBoundRecurrence pins the arithmetic of Theorem 7.7's bound.
+func TestDiameterBoundRecurrence(t *testing.T) {
+	// t=0: bound is d(I) itself.
+	if got := decision.DiameterBound(3, 4, 0); got != 3 {
+		t.Errorf("DiameterBound(3,4,0) = %d, want 3", got)
+	}
+	// One round, n=3: dY = 6; d' = 3*6+3+6 = 27.
+	if got := decision.DiameterBound(3, 3, 1); got != 27 {
+		t.Errorf("DiameterBound(3,3,1) = %d, want 27", got)
+	}
+	// Monotone in t.
+	prev := 0
+	for tt := 0; tt <= 3; tt++ {
+		b := decision.DiameterBound(3, 4, tt)
+		if b < prev {
+			t.Errorf("bound not monotone at t=%d: %d < %d", tt, b, prev)
+		}
+		prev = b
+	}
+}
+
+// TestLemma76MeasuredDiameters measures the s-diameter growth of the S^t
+// reachable sets (full-information protocol, the strongest instance) and
+// checks the Lemma 7.6 recurrence bound d_{m+1} <= d_m*dY + d_m + dY with
+// the measured per-layer diameter dY.
+func TestLemma76MeasuredDiameters(t *testing.T) {
+	const n, tt, depth = 3, 2, 2
+	p := protocols.FullInfo{}
+	m := syncmp.NewSt(p, n, tt)
+	g, err := core.Explore(m, depth, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dPrev, connPrev := valence.SetSDiameter(g.StatesAtDepth(0))
+	if !connPrev {
+		t.Fatal("initial states not similarity connected")
+	}
+	for d := 1; d <= depth; d++ {
+		// Measured per-layer diameter: max s-diameter of S(x) over states x
+		// at depth d-1.
+		dY := 0
+		for _, x := range g.StatesAtDepth(d - 1) {
+			states, _ := valence.Layer(m, x)
+			if ld, _ := valence.SetSDiameter(states); ld > dY {
+				dY = ld
+			}
+		}
+		bound := dPrev*dY + dPrev + dY
+		states := collectToDepth(g, d)
+		dCur, _ := valence.SetSDiameter(states)
+		if dCur > bound {
+			t.Errorf("depth %d: measured s-diameter %d exceeds Lemma 7.6 bound %d (dPrev=%d dY=%d)",
+				d, dCur, bound, dPrev, dY)
+		}
+		dPrev = dCur
+	}
+}
+
+// collectToDepth returns the states first reached at exactly depth d. With
+// the round number in the environment, every state's depth is unique.
+func collectToDepth(g *core.Graph, d int) []core.State {
+	return g.StatesAtDepth(d)
+}

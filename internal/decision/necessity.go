@@ -1,0 +1,130 @@
+package decision
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/simplex"
+)
+
+// NecessityReport is the result of CheckThickNecessity: the measured
+// 1-thick connectivity of the decided-output complexes over each
+// similarity-connected set of initial states.
+type NecessityReport struct {
+	// Subsets is the number of similarity-connected initial-state subsets
+	// examined.
+	Subsets int
+	// Connected is how many of their decided-output complexes were
+	// k-thick connected.
+	Connected int
+	// FirstFailure, when Connected < Subsets, names the offending subset
+	// by its initial-state keys.
+	FirstFailure []string
+}
+
+// CheckThickNecessity measures the necessity direction of Theorem 7.2 on a
+// live protocol: for a protocol that solves its decision problem over the
+// layered submodel, the complex of decided output simplexes of the runs
+// from every similarity-connected set I of initial states must be k-thick
+// connected. It explores each subset's runs to the given depth and checks
+// the resulting complex. Subsets are enumerated from the given initial
+// states (at most 16).
+func CheckThickNecessity(m core.Model, inits []core.State, n, k, depth, maxNodes int) (*NecessityReport, error) {
+	if len(inits) > 16 {
+		return nil, fmt.Errorf("decision: %d initial states; subset enumeration capped at 16", len(inits))
+	}
+	// Similarity adjacency over the initial states.
+	adj := make([][]bool, len(inits))
+	for i := range adj {
+		adj[i] = make([]bool, len(inits))
+		for j := range adj[i] {
+			if i == j {
+				continue
+			}
+			if _, ok := core.Similar(inits[i], inits[j]); ok {
+				adj[i][j] = true
+			}
+		}
+	}
+	// Per-initial-state decided simplexes (reused across subsets).
+	perInit := make([]map[string]simplex.Simplex, len(inits))
+	for i, x := range inits {
+		single := &singleInitModel{Model: m, init: x}
+		decided, err := CollectDecidedSimplexes(single, depth, maxNodes)
+		if err != nil {
+			return nil, err
+		}
+		perInit[i] = decided
+	}
+
+	report := &NecessityReport{}
+	for mask := 1; mask < 1<<uint(len(inits)); mask++ {
+		if !maskConnected(adj, mask) {
+			continue
+		}
+		report.Subsets++
+		c := simplex.NewComplex()
+		for i := range inits {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			for _, s := range perInit[i] {
+				c.Add(s)
+			}
+		}
+		if c.ThickConnected(n, k) {
+			report.Connected++
+		} else if report.FirstFailure == nil {
+			for i := range inits {
+				if mask&(1<<uint(i)) != 0 {
+					report.FirstFailure = append(report.FirstFailure, inits[i].Key())
+				}
+			}
+		}
+	}
+	return report, nil
+}
+
+// singleInitModel restricts a model to one initial state.
+type singleInitModel struct {
+	core.Model
+	init core.State
+}
+
+// Inits implements core.Model.
+func (s *singleInitModel) Inits() []core.State { return []core.State{s.init} }
+
+// maskConnected reports whether the masked vertices induce a connected
+// subgraph of adj.
+func maskConnected(adj [][]bool, mask int) bool {
+	n := len(adj)
+	start, count := -1, 0
+	for i := 0; i < n; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			if start < 0 {
+				start = i
+			}
+			count++
+		}
+	}
+	if count <= 1 {
+		return true
+	}
+	seen := 1 << uint(start)
+	stack := []int{start}
+	reached := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for v := 0; v < n; v++ {
+			bit := 1 << uint(v)
+			if mask&bit == 0 || seen&bit != 0 || !adj[u][v] {
+				continue
+			}
+			seen |= bit
+			reached++
+			stack = append(stack, v)
+		}
+	}
+	return reached == count
+}

@@ -1,0 +1,46 @@
+package decision_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/decision"
+	"repro/internal/mobile"
+	"repro/internal/protocols"
+)
+
+// TestNecessityOnSolvingProtocol is the necessity direction of Theorem 7.2
+// measured live: FloodSet(1 round) solves 2-set agreement in M^mf (see
+// E10), so the decided-output complexes over every similarity-connected
+// set of initial states must be 1-thick connected.
+func TestNecessityOnSolvingProtocol(t *testing.T) {
+	const n = 3
+	p := protocols.FloodSet{Rounds: 1}
+	m := mobile.New(p, n)
+	inits := m.Inits() // binary inputs: 8 similarity-connected candidates
+	r, err := decision.CheckThickNecessity(m, inits, n, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Subsets == 0 {
+		t.Fatal("no connected subsets examined")
+	}
+	if r.Connected != r.Subsets {
+		t.Errorf("thick connectivity failed on %d of %d subsets (first: %v)",
+			r.Subsets-r.Connected, r.Subsets, r.FirstFailure)
+	}
+}
+
+// TestNecessityRejectsTooMany guards the subset-enumeration cap.
+func TestNecessityRejectsTooMany(t *testing.T) {
+	const n = 3
+	p := protocols.FloodSet{Rounds: 1}
+	m := mobile.New(p, n)
+	inits := make([]core.State, 17)
+	for i := range inits {
+		inits[i] = m.Initial([]int{0, 0, 0})
+	}
+	if _, err := decision.CheckThickNecessity(m, inits, n, 1, 1, 0); err == nil {
+		t.Error("want cap error")
+	}
+}

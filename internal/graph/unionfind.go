@@ -1,0 +1,62 @@
+// Package graph provides the small graph utilities shared by the
+// connectivity analyses: union-find over dense integer ids, and BFS-based
+// component, distance, diameter, and path computations over explicit
+// adjacency lists.
+package graph
+
+// UnionFind is a disjoint-set forest over the integers 0..n-1 with union by
+// rank and path halving.
+type UnionFind struct {
+	parent []int
+	rank   []int
+	sets   int
+}
+
+// NewUnionFind returns a union-find structure with n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{
+		parent: make([]int, n),
+		rank:   make([]int, n),
+		sets:   n,
+	}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+// Find returns the canonical representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y and reports whether they were
+// previously distinct.
+func (u *UnionFind) Union(x, y int) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.sets--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (u *UnionFind) Connected(x, y int) bool { return u.Find(x) == u.Find(y) }
+
+// Sets returns the current number of disjoint sets.
+func (u *UnionFind) Sets() int { return u.sets }
+
+// Len returns the number of elements.
+func (u *UnionFind) Len() int { return len(u.parent) }

@@ -1,0 +1,134 @@
+// Package knowledge implements the epistemic side of the paper's Section 6
+// discussion: the connection, via Dwork & Moses [11], between deciding in
+// the synchronous model and common knowledge among the nonfaulty
+// processes.
+//
+// Over a set of global states (typically: all states reachable at one
+// round of the t-resilient model), process i considers x and y
+// indistinguishable when its local state is the same in both. "Everyone
+// (non-failed) knows φ" at x means φ holds at every state some non-failed
+// process cannot distinguish from x; common knowledge is the transitive
+// closure — φ holds on x's entire connected component under the union of
+// the non-failed indistinguishability relations.
+//
+// The classical result this makes executable: when a (correct) consensus
+// protocol decides, the decided value is common knowledge among the
+// nonfaulty processes — and before the decision round it is not.
+package knowledge
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Classes partitions states into common-knowledge classes: connected
+// components of the union, over processes i that are non-failed in the
+// endpoint states, of i's indistinguishability relation.
+type Classes struct {
+	states []core.State
+	uf     *graph.UnionFind
+	index  map[string]int
+}
+
+// NewClasses computes the common-knowledge partition of the given states.
+// Two states are linked when some process, non-failed in both, has the
+// same local state in both.
+func NewClasses(states []core.State) *Classes {
+	c := &Classes{
+		states: states,
+		uf:     graph.NewUnionFind(len(states)),
+		index:  make(map[string]int, len(states)),
+	}
+	for i, x := range states {
+		c.index[x.Key()] = i
+	}
+	for a := 0; a < len(states); a++ {
+		for b := a + 1; b < len(states); b++ {
+			if indistinguishableToSomeone(states[a], states[b]) {
+				c.uf.Union(a, b)
+			}
+		}
+	}
+	return c
+}
+
+// indistinguishableToSomeone reports whether some process non-failed in
+// both states has equal local states in both.
+func indistinguishableToSomeone(x, y core.State) bool {
+	if x.N() != y.N() {
+		return false
+	}
+	for i := 0; i < x.N(); i++ {
+		if x.FailedAt(i) || y.FailedAt(i) {
+			continue
+		}
+		if x.Local(i) == y.Local(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// SameClass reports whether two states (by key) are in the same
+// common-knowledge class. Unknown keys report false.
+func (c *Classes) SameClass(xKey, yKey string) bool {
+	i, ok1 := c.index[xKey]
+	j, ok2 := c.index[yKey]
+	return ok1 && ok2 && c.uf.Connected(i, j)
+}
+
+// Count returns the number of classes.
+func (c *Classes) Count() int { return c.uf.Sets() }
+
+// CommonKnowledge reports whether the fact holds at every state of x's
+// class — i.e. whether the fact is common knowledge among the non-failed
+// processes at x. Unknown keys report false.
+func (c *Classes) CommonKnowledge(xKey string, fact func(core.State) bool) bool {
+	i, ok := c.index[xKey]
+	if !ok {
+		return false
+	}
+	root := c.uf.Find(i)
+	for j, y := range c.states {
+		if c.uf.Find(j) == root && !fact(y) {
+			return false
+		}
+	}
+	return true
+}
+
+// Class returns the keys of x's class, sorted. Unknown keys return nil.
+func (c *Classes) Class(xKey string) []string {
+	i, ok := c.index[xKey]
+	if !ok {
+		return nil
+	}
+	root := c.uf.Find(i)
+	var out []string
+	for j, y := range c.states {
+		if c.uf.Find(j) == root {
+			out = append(out, y.Key())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DecidedValueFact returns a fact asserting "some non-failed process has
+// decided v" — the canonical fact whose common knowledge accompanies
+// consensus decisions.
+func DecidedValueFact(v int) func(core.State) bool {
+	return func(x core.State) bool {
+		for i := 0; i < x.N(); i++ {
+			if x.FailedAt(i) {
+				continue
+			}
+			if got, ok := x.Decided(i); ok && got == v {
+				return true
+			}
+		}
+		return false
+	}
+}

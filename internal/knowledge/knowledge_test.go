@@ -1,0 +1,115 @@
+package knowledge_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/knowledge"
+	"repro/internal/protocols"
+	"repro/internal/syncmp"
+	"repro/internal/valence"
+)
+
+// statesAtRound explores the S^t model and returns the states first
+// reached at the given round.
+func statesAtRound(t *testing.T, m core.Model, round int) []core.State {
+	t.Helper()
+	g, err := core.Explore(m, round, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.StatesAtDepth(round)
+}
+
+// TestDecisionImpliesCommonKnowledge is the Dwork–Moses connection,
+// executable: at FloodSet(t+1)'s decision round, each state's decided
+// value is common knowledge among the non-failed processes — every state
+// in its common-knowledge class carries the same decision.
+func TestDecisionImpliesCommonKnowledge(t *testing.T) {
+	const n, tt = 3, 1
+	rounds := tt + 1
+	m := syncmp.NewSt(protocols.FloodSet{Rounds: rounds}, n, tt)
+	states := statesAtRound(t, m, rounds)
+	classes := knowledge.NewClasses(states)
+	for _, x := range states {
+		v := decidedValue(x)
+		if v == core.Undecided {
+			t.Fatalf("undecided state at the decision round")
+		}
+		if !classes.CommonKnowledge(x.Key(), knowledge.DecidedValueFact(v)) {
+			t.Errorf("decision %d not common knowledge at %s", v, x.Key())
+		}
+	}
+}
+
+// TestNoCommonKnowledgeBeforeDecision: with t=2 (n=4), bivalent states
+// persist through round t-1 = 1, and at a bivalent state neither future
+// value is common knowledge — the state's CK class reaches both valences.
+func TestNoCommonKnowledgeBeforeDecision(t *testing.T) {
+	const n, tt = 4, 2
+	rounds := tt + 1
+	m := syncmp.NewSt(protocols.FloodSet{Rounds: rounds}, n, tt)
+	o := valence.NewOracle(m)
+	const round = 1 // = t-1: the last round with bivalent states
+	states := statesAtRound(t, m, round)
+	classes := knowledge.NewClasses(states)
+	byKey := make(map[string]core.State, len(states))
+	for _, y := range states {
+		byKey[y.Key()] = y
+	}
+	checkedBivalent := 0
+	for _, x := range states {
+		if !o.Bivalent(x, rounds-round) {
+			continue
+		}
+		checkedBivalent++
+		both := uint8(0)
+		for _, key := range classes.Class(x.Key()) {
+			both |= o.Valences(byKey[key], rounds-round)
+		}
+		if both != valence.V0|valence.V1 {
+			t.Errorf("bivalent state's CK class reaches only valences %02b", both)
+		}
+	}
+	if checkedBivalent == 0 {
+		t.Fatal("no bivalent states at round t-1; Lemma 6.1 says they exist")
+	}
+}
+
+// TestClassesBasics: class structure sanity on the initial states — the
+// initial Con_0 is one big class (it is similarity connected and everyone
+// is non-failed).
+func TestClassesBasics(t *testing.T) {
+	const n, tt = 3, 1
+	m := syncmp.NewSt(protocols.FloodSet{Rounds: tt + 1}, n, tt)
+	inits := m.Inits()
+	classes := knowledge.NewClasses(inits)
+	if classes.Count() != 1 {
+		t.Errorf("Con_0 splits into %d CK classes, want 1", classes.Count())
+	}
+	if got := classes.Class(inits[0].Key()); len(got) != len(inits) {
+		t.Errorf("class size %d, want %d", len(got), len(inits))
+	}
+	if classes.SameClass("nope", inits[0].Key()) {
+		t.Error("unknown key reported in a class")
+	}
+	if classes.CommonKnowledge("nope", func(core.State) bool { return true }) {
+		t.Error("unknown key has common knowledge")
+	}
+	// Nothing value-specific is common knowledge initially.
+	if classes.CommonKnowledge(inits[0].Key(), knowledge.DecidedValueFact(0)) {
+		t.Error("a decision is common knowledge before the run starts")
+	}
+}
+
+func decidedValue(x core.State) int {
+	for i := 0; i < x.N(); i++ {
+		if x.FailedAt(i) {
+			continue
+		}
+		if v, ok := x.Decided(i); ok {
+			return v
+		}
+	}
+	return core.Undecided
+}

@@ -1,0 +1,160 @@
+// Package mobile implements M^mf, the synchronous model with a single mobile
+// (omission) failure per round, due to Santoro & Widmayer and analyzed in
+// Section 5 of the paper.
+//
+// In every round the environment performs an action (j, G): all messages
+// sent in that round by process j to the processes in G are lost. The
+// identity of the omitting process may change from round to round, nothing
+// is recorded, and nobody is silenced: the environment's local state is
+// constant (we keep only the round number). A process is faulty in a run
+// exactly if it is silenced forever from some round on, so no process is
+// ever failed at a finite state — the model displays no finite failure.
+//
+// The layering S1 restricts the environment to prefix omission sets:
+// S1(x) = { x(j,[k]) : 1 <= j <= n, 0 <= k <= n }.
+package mobile
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/syncmp"
+)
+
+// Model is M^mf with the S1 layering. It implements core.Model.
+type Model struct {
+	p    proto.SyncProtocol
+	n    int
+	name string
+}
+
+var _ core.Model = (*Model)(nil)
+
+// New returns M^mf with the S1 layering for protocol p on n processes.
+func New(p proto.SyncProtocol, n int) *Model {
+	return &Model{p: p, n: n, name: fmt.Sprintf("mobile/S1(n=%d,%s)", n, p.Name())}
+}
+
+// Name implements core.Model.
+func (m *Model) Name() string { return m.name }
+
+// Protocol returns the protocol the model runs.
+func (m *Model) Protocol() proto.SyncProtocol { return m.p }
+
+// N returns the number of processes.
+func (m *Model) N() int { return m.n }
+
+// Inits implements core.Model: Con_0 in binary counting order.
+func (m *Model) Inits() []core.State {
+	out := make([]core.State, 0, 1<<uint(m.n))
+	for a := 0; a < 1<<uint(m.n); a++ {
+		inputs := make([]int, m.n)
+		for i := 0; i < m.n; i++ {
+			inputs[i] = (a >> uint(i)) & 1
+		}
+		out = append(out, m.Initial(inputs))
+	}
+	return out
+}
+
+// Initial builds the initial state for an explicit input assignment.
+func (m *Model) Initial(inputs []int) *syncmp.State {
+	locals := make([]string, m.n)
+	for i := range locals {
+		locals[i] = m.p.Init(m.n, i, inputs[i])
+	}
+	return syncmp.NewState(m.p, 0, locals, 0, false, inputs)
+}
+
+// Successors implements core.Model: one successor per action (j,[k]). The
+// failure-free successors x(j,[0]) coincide for all j and are emitted once,
+// labeled "noop".
+func (m *Model) Successors(x core.State) []core.Succ {
+	s, ok := x.(*syncmp.State)
+	if !ok {
+		return nil
+	}
+	out := make([]core.Succ, 0, m.n*m.n+1)
+	out = append(out, core.Succ{
+		Action: "noop",
+		State:  syncmp.ApplyAction(m.p, s, 0, 0, false, false),
+	})
+	for j := 0; j < m.n; j++ {
+		for k := 1; k <= m.n; k++ {
+			out = append(out, core.Succ{
+				Action: "(" + strconv.Itoa(j) + ",[" + strconv.Itoa(k) + "])",
+				State:  syncmp.ApplyAction(m.p, s, j, syncmp.OmitMask(k), false, false),
+			})
+		}
+	}
+	return out
+}
+
+// Apply exposes a single arbitrary environment action (j, G) of the full
+// model M^mf (not restricted to the S1 prefix sets), for the layering
+// legality tests: every S1 action must be an M^mf action, and sequences of
+// M^mf actions generate the full model.
+func (m *Model) Apply(x *syncmp.State, j int, omitTo uint64) *syncmp.State {
+	return syncmp.ApplyAction(m.p, x, j, omitTo, false, false)
+}
+
+// FullModel is M^mf itself: every environment action (j, G) with an
+// arbitrary omission set G, not only the prefix sets of S1. The S1
+// submodel's layer is a subset of every FullModel layer (the executable
+// content of "S1 is a layering of M^mf"), and impossibility established in
+// the submodel holds a fortiori here — both are checked in the package
+// tests.
+type FullModel struct {
+	inner *Model
+	p     proto.SyncProtocol
+	n     int
+	name  string
+}
+
+var _ core.Model = (*FullModel)(nil)
+
+// NewFull returns the unrestricted M^mf for protocol p on n processes.
+func NewFull(p proto.SyncProtocol, n int) *FullModel {
+	return &FullModel{
+		inner: New(p, n),
+		p:     p,
+		n:     n,
+		name:  fmt.Sprintf("mobile/full(n=%d,%s)", n, p.Name()),
+	}
+}
+
+// Name implements core.Model.
+func (m *FullModel) Name() string { return m.name }
+
+// N returns the number of processes.
+func (m *FullModel) N() int { return m.n }
+
+// Inits implements core.Model: the same Con_0 as the S1 submodel.
+func (m *FullModel) Inits() []core.State { return m.inner.Inits() }
+
+// Initial builds the initial state for an explicit input assignment.
+func (m *FullModel) Initial(inputs []int) *syncmp.State { return m.inner.Initial(inputs) }
+
+// Successors implements core.Model: one successor per (j, G) with G any
+// non-empty subset, plus the failure-free action.
+func (m *FullModel) Successors(x core.State) []core.Succ {
+	s, ok := x.(*syncmp.State)
+	if !ok {
+		return nil
+	}
+	out := []core.Succ{{
+		Action: "noop",
+		State:  syncmp.ApplyAction(m.p, s, 0, 0, false, false),
+	}}
+	for j := 0; j < m.n; j++ {
+		for g := uint64(1); g < 1<<uint(m.n); g++ {
+			out = append(out, core.Succ{
+				Action: fmt.Sprintf("(%d,G=%0*b)", j, m.n, g),
+				State:  syncmp.ApplyAction(m.p, s, j, g, false, false),
+			})
+		}
+	}
+	return out
+}

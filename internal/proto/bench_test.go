@@ -1,0 +1,32 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+)
+
+func BenchmarkJoin(b *testing.B) {
+	fields := []string{"r12", strings.Repeat("x", 64), strings.Repeat("y", 64), "0,1,4,9"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Join(fields...)
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	s := Join("r12", strings.Repeat("x", 64), strings.Repeat("y", 64), "0,1,4,9")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeIntSet(b *testing.B) {
+	xs := []int{9, 3, 3, 7, 1, 0, 4, 4, 2, 8, 6, 5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = EncodeIntSet(xs)
+	}
+}

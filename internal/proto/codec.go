@@ -1,0 +1,109 @@
+// Package proto defines the protocol interfaces for the three model families
+// the paper analyzes (synchronous message passing, asynchronous read/write
+// shared memory, asynchronous message passing), together with a small
+// canonical string codec.
+//
+// Local protocol states are canonical strings: two logical states are equal
+// exactly if their encodings are equal. This makes any protocol's states
+// directly usable as the paper's local states L_i — the framework observes
+// them only through equality, decisions, and the model's transition rules.
+package proto
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrBadEncoding is returned by decoding helpers when the input is not a
+// valid canonical encoding.
+var ErrBadEncoding = errors.New("proto: bad encoding")
+
+// Join encodes a sequence of fields into one unambiguous canonical string
+// using length prefixes. Join is injective: distinct field sequences yield
+// distinct strings, regardless of field contents.
+func Join(fields ...string) string {
+	var b strings.Builder
+	size := 0
+	for _, f := range fields {
+		size += len(f) + 8
+	}
+	b.Grow(size)
+	for _, f := range fields {
+		b.WriteString(strconv.Itoa(len(f)))
+		b.WriteByte(':')
+		b.WriteString(f)
+	}
+	return b.String()
+}
+
+// Split decodes a string produced by Join back into its fields.
+func Split(s string) ([]string, error) {
+	var fields []string
+	for len(s) > 0 {
+		colon := strings.IndexByte(s, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("missing length prefix in %q: %w", s, ErrBadEncoding)
+		}
+		n, err := strconv.Atoi(s[:colon])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad length prefix in %q: %w", s, ErrBadEncoding)
+		}
+		s = s[colon+1:]
+		if len(s) < n {
+			return nil, fmt.Errorf("truncated field in %q: %w", s, ErrBadEncoding)
+		}
+		fields = append(fields, s[:n])
+		s = s[n:]
+	}
+	return fields, nil
+}
+
+// JoinInts encodes a sequence of integers canonically (order-preserving).
+func JoinInts(xs ...int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// SplitInts decodes a JoinInts encoding.
+func SplitInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		x, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad int %q: %w", p, ErrBadEncoding)
+		}
+		out[i] = x
+	}
+	return out, nil
+}
+
+// EncodeIntSet encodes a set of integers canonically: sorted ascending with
+// duplicates removed.
+func EncodeIntSet(xs []int) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	sorted := make([]int, len(xs))
+	copy(sorted, xs)
+	sort.Ints(sorted)
+	uniq := sorted[:1]
+	for _, x := range sorted[1:] {
+		if x != uniq[len(uniq)-1] {
+			uniq = append(uniq, x)
+		}
+	}
+	return JoinInts(uniq...)
+}
+
+// DecodeIntSet decodes an EncodeIntSet encoding into a sorted slice.
+func DecodeIntSet(s string) ([]int, error) { return SplitInts(s) }

@@ -1,0 +1,150 @@
+package proto
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJoinSplitRoundTrip(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{""},
+		{"", ""},
+		{"a"},
+		{"a", "b", "c"},
+		{"with:colon", "with|pipe", "3:tricky"},
+		{"éüñ", strings.Repeat("x", 1000)},
+	}
+	for _, fields := range cases {
+		got, err := Split(Join(fields...))
+		if err != nil {
+			t.Fatalf("Split(Join(%q)): %v", fields, err)
+		}
+		if len(fields) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, fields) {
+			t.Errorf("round trip %q: got %q", fields, got)
+		}
+	}
+}
+
+func TestJoinSplitProperty(t *testing.T) {
+	f := func(fields []string) bool {
+		got, err := Split(Join(fields...))
+		if err != nil {
+			return false
+		}
+		if len(fields) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, fields)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinInjectiveProperty(t *testing.T) {
+	f := func(a, b []string) bool {
+		if reflect.DeepEqual(a, b) {
+			return true
+		}
+		return Join(a...) != Join(b...)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitRejectsMalformed(t *testing.T) {
+	bad := []string{"x", "3:ab", "-1:", "9999999999999999999999:a", ":abc"}
+	for _, s := range bad {
+		if _, err := Split(s); err == nil {
+			t.Errorf("Split(%q): want error", s)
+		}
+	}
+}
+
+func TestEncodeIntSet(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want string
+	}{
+		{nil, ""},
+		{[]int{5}, "5"},
+		{[]int{3, 1, 2}, "1,2,3"},
+		{[]int{2, 2, 2}, "2"},
+		{[]int{-1, 0, -1, 7}, "-1,0,7"},
+	}
+	for _, c := range cases {
+		if got := EncodeIntSet(c.in); got != c.want {
+			t.Errorf("EncodeIntSet(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEncodeIntSetCanonicalProperty(t *testing.T) {
+	// The encoding must be order- and multiplicity-insensitive.
+	f := func(xs []int, seed uint8) bool {
+		shuffled := append([]int(nil), xs...)
+		// Deterministic pseudo-shuffle driven by seed.
+		for i := range shuffled {
+			j := (i*31 + int(seed)) % (i + 1)
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		}
+		doubled := append(append([]int(nil), xs...), xs...)
+		return EncodeIntSet(xs) == EncodeIntSet(shuffled) &&
+			EncodeIntSet(xs) == EncodeIntSet(doubled)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntSetRoundTripProperty(t *testing.T) {
+	f := func(xs []int) bool {
+		dec, err := DecodeIntSet(EncodeIntSet(xs))
+		if err != nil {
+			return false
+		}
+		// dec must be the sorted deduplication of xs.
+		seen := make(map[int]bool, len(xs))
+		for _, x := range xs {
+			seen[x] = true
+		}
+		if len(dec) != len(seen) {
+			return false
+		}
+		for i, x := range dec {
+			if !seen[x] {
+				return false
+			}
+			if i > 0 && dec[i-1] >= x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinIntsRoundTrip(t *testing.T) {
+	f := func(xs []int) bool {
+		got, err := SplitInts(JoinInts(xs...))
+		if err != nil {
+			return false
+		}
+		if len(xs) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

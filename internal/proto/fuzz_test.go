@@ -1,0 +1,59 @@
+package proto
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzSplit: Split never panics and, where it succeeds, Join(Split(s))
+// round-trips back to a canonical encoding of the same fields.
+func FuzzSplit(f *testing.F) {
+	f.Add("")
+	f.Add("3:abc")
+	f.Add("0:")
+	f.Add("3:ab")         // truncated
+	f.Add("x:abc")        // bad prefix
+	f.Add("1:a2:bc3:def") // multi-field
+	f.Add("10:short")     // length overrun
+	f.Add(":::")          // pathological
+	f.Fuzz(func(t *testing.T, s string) {
+		fields, err := Split(s)
+		if err != nil {
+			return
+		}
+		again, err := Split(Join(fields...))
+		if err != nil {
+			t.Fatalf("re-split of canonical encoding failed: %v", err)
+		}
+		if len(fields) == 0 && len(again) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(fields, again) {
+			t.Fatalf("round trip changed fields: %q -> %q", fields, again)
+		}
+	})
+}
+
+// FuzzDecodeIntSet: DecodeIntSet never panics; successful decodes re-encode
+// to a stable canonical form.
+func FuzzDecodeIntSet(f *testing.F) {
+	f.Add("")
+	f.Add("1,2,3")
+	f.Add("-5,0,7")
+	f.Add("not,numbers")
+	f.Add("1,,2")
+	f.Fuzz(func(t *testing.T, s string) {
+		xs, err := DecodeIntSet(s)
+		if err != nil {
+			return
+		}
+		enc := EncodeIntSet(xs)
+		again, err := DecodeIntSet(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if EncodeIntSet(again) != enc {
+			t.Fatalf("canonical form unstable: %q vs %q", enc, EncodeIntSet(again))
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package proto
+
+import (
+	"fmt"
+)
+
+// Violation describes one conformance problem found by a validator.
+type Violation struct {
+	// Rule names the violated requirement.
+	Rule string
+	// Detail describes the concrete instance.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string { return v.Rule + ": " + v.Detail }
+
+// ValidateSync checks a synchronous protocol's contract on small vectors
+// so authors catch breakage before handing the protocol to the analysis
+// engine:
+//
+//   - Init determinism: equal (n, id, input) give equal states;
+//   - Send/Deliver determinism and purity (same inputs, same outputs);
+//   - Send vector length covers all destinations;
+//   - write-once decisions along failure-free rounds;
+//   - decision stability: once decided, Deliver preserves the value.
+//
+// It runs the protocol for `rounds` failure-free rounds on every binary
+// input assignment for n processes and returns all violations found.
+func ValidateSync(p SyncProtocol, n, rounds int) []Violation {
+	var out []Violation
+	report := func(rule, format string, args ...any) {
+		out = append(out, Violation{Rule: rule, Detail: fmt.Sprintf(format, args...)})
+	}
+	for a := 0; a < 1<<uint(n); a++ {
+		locals := make([]string, n)
+		for i := 0; i < n; i++ {
+			input := (a >> uint(i)) & 1
+			locals[i] = p.Init(n, i, input)
+			if again := p.Init(n, i, input); again != locals[i] {
+				report("init-determinism", "Init(%d,%d,%d) differs across calls", n, i, input)
+			}
+		}
+		decided := make([]int, n)
+		for i := range decided {
+			decided[i] = -1
+			if v, ok := p.Decide(locals[i]); ok {
+				decided[i] = v
+			}
+		}
+		for r := 0; r < rounds; r++ {
+			sends := make([][]string, n)
+			for i, l := range locals {
+				sends[i] = p.Send(l)
+				if again := p.Send(l); !equalStrings(again, sends[i]) {
+					report("send-determinism", "inputs %0*b round %d process %d", n, a, r, i)
+				}
+				if len(sends[i]) < n {
+					report("send-length", "inputs %0*b round %d process %d: %d < n=%d",
+						n, a, r, i, len(sends[i]), n)
+				}
+			}
+			next := make([]string, n)
+			for j := 0; j < n; j++ {
+				in := make([]string, n)
+				for i := 0; i < n; i++ {
+					if i != j && j < len(sends[i]) {
+						in[i] = sends[i][j]
+					}
+				}
+				next[j] = p.Deliver(locals[j], in)
+				if again := p.Deliver(locals[j], in); again != next[j] {
+					report("deliver-determinism", "inputs %0*b round %d process %d", n, a, r, j)
+				}
+				v, ok := p.Decide(next[j])
+				switch {
+				case decided[j] >= 0 && (!ok || v != decided[j]):
+					report("write-once", "inputs %0*b round %d process %d: %d then (%d,%v)",
+						n, a, r, j, decided[j], v, ok)
+				case decided[j] < 0 && ok:
+					decided[j] = v
+				}
+			}
+			locals = next
+		}
+	}
+	return out
+}
+
+// ValidateSM is ValidateSync's analogue for shared-memory protocols: it
+// runs `phases` all-write-then-all-read rounds on every binary input
+// assignment.
+func ValidateSM(p SMProtocol, n, phases int) []Violation {
+	var out []Violation
+	report := func(rule, format string, args ...any) {
+		out = append(out, Violation{Rule: rule, Detail: fmt.Sprintf(format, args...)})
+	}
+	for a := 0; a < 1<<uint(n); a++ {
+		locals := make([]string, n)
+		regs := make([]string, n)
+		for i := 0; i < n; i++ {
+			locals[i] = p.Init(n, i, (a>>uint(i))&1)
+		}
+		decided := make([]int, n)
+		for i := range decided {
+			decided[i] = -1
+		}
+		for r := 0; r < phases; r++ {
+			for i, l := range locals {
+				v := p.WriteValue(l)
+				if again := p.WriteValue(l); again != v {
+					report("write-determinism", "inputs %0*b phase %d process %d", n, a, r, i)
+				}
+				if v != "" {
+					regs[i] = v
+				}
+			}
+			for i, l := range locals {
+				locals[i] = p.Observe(l, regs)
+				if again := p.Observe(l, regs); again != locals[i] {
+					report("observe-determinism", "inputs %0*b phase %d process %d", n, a, r, i)
+				}
+				v, ok := p.Decide(locals[i])
+				switch {
+				case decided[i] >= 0 && (!ok || v != decided[i]):
+					report("write-once", "inputs %0*b phase %d process %d", n, a, r, i)
+				case decided[i] < 0 && ok:
+					decided[i] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,88 @@
+package proto_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/proto"
+	"repro/internal/protocols"
+)
+
+func TestValidateSyncCleanProtocols(t *testing.T) {
+	clean := []proto.SyncProtocol{
+		protocols.FloodSet{Rounds: 2},
+		protocols.EIG{Rounds: 2},
+		protocols.FullInfo{},
+		protocols.EarlyFloodSet{MaxRounds: 2},
+		protocols.ConstantDecider{Value: 0}, // invalid w.r.t. consensus, but contract-clean
+	}
+	for _, p := range clean {
+		if vs := proto.ValidateSync(p, 3, 3); len(vs) != 0 {
+			t.Errorf("%s: %d violations, first: %v", p.Name(), len(vs), vs[0])
+		}
+	}
+}
+
+func TestValidateSyncCatchesWriteOnce(t *testing.T) {
+	vs := proto.ValidateSync(protocols.FlickerDecider{}, 3, 3)
+	if len(vs) == 0 {
+		t.Fatal("flicker protocol passed validation")
+	}
+	found := false
+	for _, v := range vs {
+		if v.Rule == "write-once" {
+			found = true
+			if !strings.Contains(v.String(), "write-once") {
+				t.Errorf("String() = %q", v.String())
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no write-once violation among %d findings", len(vs))
+	}
+}
+
+func TestValidateSyncCatchesShortSendVector(t *testing.T) {
+	vs := proto.ValidateSync(shortSender{}, 3, 1)
+	found := false
+	for _, v := range vs {
+		if v.Rule == "send-length" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("short send vector not flagged: %v", vs)
+	}
+}
+
+// shortSender returns a 1-element send vector for a 3-process system.
+type shortSender struct{}
+
+func (shortSender) Name() string                        { return "short" }
+func (shortSender) Init(n, id, input int) string        { return "s" }
+func (shortSender) Send(string) []string                { return []string{"x"} }
+func (shortSender) Deliver(s string, _ []string) string { return s }
+func (shortSender) Decide(string) (int, bool)           { return 0, false }
+
+func TestValidateSMCleanAndDirty(t *testing.T) {
+	if vs := proto.ValidateSM(protocols.SMVote{Phases: 2}, 3, 3); len(vs) != 0 {
+		t.Errorf("SMVote: %v", vs)
+	}
+	if vs := proto.ValidateSM(protocols.SMFullInfo{}, 3, 2); len(vs) != 0 {
+		t.Errorf("SMFullInfo: %v", vs)
+	}
+	if vs := proto.ValidateSM(flickerSM{}, 2, 3); len(vs) == 0 {
+		t.Error("flickering SM protocol passed validation")
+	}
+}
+
+// flickerSM decides its phase parity — not write-once.
+type flickerSM struct{}
+
+func (flickerSM) Name() string                 { return "flickersm" }
+func (flickerSM) Init(n, id, input int) string { return "0" }
+func (flickerSM) WriteValue(string) string     { return "w" }
+func (flickerSM) Observe(s string, _ []string) string {
+	return s + "x"
+}
+func (flickerSM) Decide(s string) (int, bool) { return len(s) % 2, true }

@@ -1,0 +1,116 @@
+package protocols_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/protocols"
+)
+
+func TestSMVoteDirect(t *testing.T) {
+	p := protocols.SMVote{Phases: 1}
+	if !strings.Contains(p.Name(), "smvote") {
+		t.Errorf("Name() = %q", p.Name())
+	}
+	st := p.Init(3, 1, 1)
+	if v := p.WriteValue(st); v != "1" {
+		t.Errorf("WriteValue = %q, want \"1\"", v)
+	}
+	st = p.Observe(st, []string{"0", "", "garbage-%%"})
+	if v, ok := p.Decide(st); !ok || v != 0 {
+		t.Errorf("Decide = (%d,%v), want (0,true)", v, ok)
+	}
+	// Malformed state strings degrade gracefully.
+	if v := p.WriteValue("not-an-encoding"); v != "" {
+		t.Errorf("WriteValue(garbage) = %q", v)
+	}
+	if _, ok := p.Decide("not-an-encoding"); ok {
+		t.Error("Decide(garbage) decided")
+	}
+}
+
+func TestMPFloodDirect(t *testing.T) {
+	p := protocols.MPFlood{Phases: 1}
+	if !strings.Contains(p.Name(), "mpflood") {
+		t.Errorf("Name() = %q", p.Name())
+	}
+	st := p.Init(3, 0, 1)
+	outs := p.Send(st)
+	if outs[1] != "1" || outs[2] != "1" {
+		t.Errorf("Send = %v", outs[:3])
+	}
+	st = p.Receive(st, [][]string{nil, {"0"}, {"bad-%%"}})
+	if v, ok := p.Decide(st); !ok || v != 0 {
+		t.Errorf("Decide = (%d,%v), want (0,true)", v, ok)
+	}
+}
+
+func TestFullInfoVariantsDirect(t *testing.T) {
+	sm := protocols.SMFullInfo{}
+	if sm.Name() != "smfullinfo" {
+		t.Errorf("Name() = %q", sm.Name())
+	}
+	st := sm.Init(2, 0, 1)
+	if sm.WriteValue(st) != st {
+		t.Error("SMFullInfo must publish its whole state")
+	}
+	st2 := sm.Observe(st, []string{st, "other"})
+	if st2 == st {
+		t.Error("Observe did not advance")
+	}
+	if _, ok := sm.Decide(st2); ok {
+		t.Error("full info decided")
+	}
+
+	mp := protocols.MPFullInfo{}
+	if mp.Name() != "mpfullinfo" {
+		t.Errorf("Name() = %q", mp.Name())
+	}
+	mst := mp.Init(2, 1, 0)
+	if got := mp.Send(mst); got[0] != mst {
+		t.Error("MPFullInfo must broadcast its whole state")
+	}
+	mst2 := mp.Receive(mst, [][]string{{"m"}, nil})
+	if mst2 == mst {
+		t.Error("Receive did not advance")
+	}
+	if _, ok := mp.Decide(mst2); ok {
+		t.Error("full info decided")
+	}
+}
+
+func TestEarlyFloodMalformedState(t *testing.T) {
+	p := protocols.EarlyFloodSet{MaxRounds: 2}
+	if got := p.Send("garbage"); got[0] != "" {
+		t.Errorf("Send(garbage) = %q", got[0])
+	}
+	if got := p.Deliver("garbage", []string{""}); got != "garbage" {
+		t.Errorf("Deliver(garbage) = %q", got)
+	}
+	if _, ok := p.Decide("garbage"); ok {
+		t.Error("Decide(garbage) decided")
+	}
+}
+
+func TestCoordinatorMalformedState(t *testing.T) {
+	p := protocols.MPCoordinator{Phases: 2}
+	if got := p.Send("garbage"); got[0] != "" {
+		t.Errorf("Send(garbage) = %q", got[0])
+	}
+	if got := p.Receive("garbage", nil); got != "garbage" {
+		t.Errorf("Receive(garbage) = %q", got)
+	}
+	if _, ok := p.Decide("garbage"); ok {
+		t.Error("Decide(garbage) decided")
+	}
+}
+
+func TestEIGMalformedState(t *testing.T) {
+	p := protocols.EIG{Rounds: 1}
+	if _, ok := p.Decide("garbage"); ok {
+		t.Error("Decide(garbage) decided")
+	}
+	if got := p.Deliver(p.Init(2, 0, 1), []string{"", "not=tree=shaped"}); got == "" {
+		t.Error("Deliver collapsed the state")
+	}
+}

@@ -1,0 +1,96 @@
+package protocols
+
+import (
+	"strconv"
+
+	"repro/internal/proto"
+)
+
+// MPCoordinator is the classical rotating-coordinator heuristic for
+// asynchronous message passing: in phase r the process with id r mod n
+// broadcasts its current estimate; everyone who hears the coordinator
+// adopts the estimate; after Phases local phases each process decides its
+// estimate. Validity holds by construction (estimates are always somebody's
+// input); agreement fails whenever the scheduler hides a coordinator from
+// part of the system — a deterministic skeleton of the Ben-Or/rotating-
+// coordinator family whose refutation witnesses differ in shape from the
+// flooding protocols'.
+//
+// Local state encoding: phase | id | n | estimate | dec.
+type MPCoordinator struct {
+	// Phases is the local phase count after which the process decides.
+	Phases int
+}
+
+var _ proto.MPProtocol = MPCoordinator{}
+
+// Name implements proto.MPProtocol.
+func (c MPCoordinator) Name() string { return "mpcoord(P=" + strconv.Itoa(c.Phases) + ")" }
+
+// Init implements proto.MPProtocol.
+func (c MPCoordinator) Init(n, id, input int) string {
+	return proto.Join("0", strconv.Itoa(id), strconv.Itoa(n), strconv.Itoa(input), "-1")
+}
+
+// Send implements proto.MPProtocol: the phase's coordinator broadcasts its
+// estimate.
+func (c MPCoordinator) Send(state string) []string {
+	st, ok := parseCoord(state)
+	if !ok || st.phase%st.n != st.id {
+		return broadcast("")
+	}
+	return broadcast(strconv.Itoa(st.estimate))
+}
+
+// Receive implements proto.MPProtocol: adopt the latest coordinator
+// estimate heard (highest sender id breaks ties among backlogged phases),
+// bump the phase, decide at the bound.
+func (c MPCoordinator) Receive(state string, in [][]string) string {
+	st, ok := parseCoord(state)
+	if !ok {
+		return state
+	}
+	for sender := 0; sender < len(in); sender++ {
+		for _, msg := range in[sender] {
+			if v, err := strconv.Atoi(msg); err == nil {
+				st.estimate = v
+			}
+		}
+	}
+	st.phase++
+	if st.dec < 0 && st.phase >= c.Phases {
+		st.dec = st.estimate
+	}
+	return proto.Join(strconv.Itoa(st.phase), strconv.Itoa(st.id), strconv.Itoa(st.n),
+		strconv.Itoa(st.estimate), strconv.Itoa(st.dec))
+}
+
+// Decide implements proto.MPProtocol.
+func (c MPCoordinator) Decide(state string) (int, bool) {
+	st, ok := parseCoord(state)
+	if !ok || st.dec < 0 {
+		return 0, false
+	}
+	return st.dec, true
+}
+
+type coordState struct {
+	phase, id, n, estimate, dec int
+}
+
+func parseCoord(state string) (coordState, bool) {
+	fields, err := proto.Split(state)
+	if err != nil || len(fields) != 5 {
+		return coordState{}, false
+	}
+	var st coordState
+	vals := []*int{&st.phase, &st.id, &st.n, &st.estimate, &st.dec}
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return coordState{}, false
+		}
+		*vals[i] = v
+	}
+	return st, true
+}

@@ -1,0 +1,154 @@
+package protocols
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/proto"
+)
+
+// EIG is Exponential Information Gathering consensus (Pease–Shostak–
+// Lamport style, crash/omission variant): each process maintains a tree of
+// values labeled by process-id strings; level r holds "p_k...p_1 reported
+// that p_1's input is v". Every round the current frontier is relayed;
+// after Rounds rounds the process decides the minimum value present in its
+// tree. Under crash/omission failures this coincides with FloodSet's
+// decision but exercises a structurally different state: the tree keeps
+// per-path provenance, so EIG states distinguish executions that FloodSet
+// merges. With Rounds = t+1 it is correct in the t-resilient synchronous
+// model; with Rounds = t it is refuted.
+//
+// Local state encoding: round | id | sorted "path=value" entries, where a
+// path is a "."-separated id chain, the empty path being the process's own
+// input.
+type EIG struct {
+	// Rounds is the round after which the process decides.
+	Rounds int
+}
+
+var _ proto.SyncProtocol = EIG{}
+
+// Name implements proto.SyncProtocol.
+func (e EIG) Name() string { return "eig(R=" + strconv.Itoa(e.Rounds) + ")" }
+
+// Init implements proto.SyncProtocol.
+func (e EIG) Init(n, id, input int) string {
+	return encodeEIG(0, id, map[string]int{"": input})
+}
+
+// Send implements proto.SyncProtocol: relay the current frontier (entries
+// whose path length equals the round), prefixed by the sender's id on
+// delivery.
+func (e EIG) Send(state string) []string {
+	round, _, tree := parseEIG(state)
+	frontier := make(map[string]int)
+	for path, v := range tree {
+		if pathLen(path) == round {
+			frontier[path] = v
+		}
+	}
+	return broadcast(encodeTree(frontier))
+}
+
+// Deliver implements proto.SyncProtocol: for each received frontier entry
+// with path P from sender s, record path "s.P" (s prepended).
+func (e EIG) Deliver(state string, in []string) string {
+	round, id, tree := parseEIG(state)
+	for sender, msg := range in {
+		if msg == "" {
+			continue
+		}
+		entries, err := decodeTree(msg)
+		if err != nil {
+			continue
+		}
+		for path, v := range entries {
+			ext := strconv.Itoa(sender)
+			if path != "" {
+				ext = ext + "." + path
+			}
+			if _, dup := tree[ext]; !dup {
+				tree[ext] = v
+			}
+		}
+	}
+	return encodeEIG(round+1, id, tree)
+}
+
+// Decide implements proto.SyncProtocol: after Rounds rounds, the minimum
+// value in the tree.
+func (e EIG) Decide(state string) (int, bool) {
+	round, _, tree := parseEIG(state)
+	if round < e.Rounds || len(tree) == 0 {
+		return 0, false
+	}
+	first := true
+	min := 0
+	for _, v := range tree {
+		if first || v < min {
+			min = v
+			first = false
+		}
+	}
+	return min, true
+}
+
+func pathLen(path string) int {
+	if path == "" {
+		return 0
+	}
+	return strings.Count(path, ".") + 1
+}
+
+func encodeEIG(round, id int, tree map[string]int) string {
+	return proto.Join(strconv.Itoa(round), strconv.Itoa(id), encodeTree(tree))
+}
+
+func encodeTree(tree map[string]int) string {
+	entries := make([]string, 0, len(tree))
+	for path, v := range tree {
+		entries = append(entries, path+"="+strconv.Itoa(v))
+	}
+	sort.Strings(entries)
+	return strings.Join(entries, ";")
+}
+
+func decodeTree(s string) (map[string]int, error) {
+	tree := make(map[string]int)
+	if s == "" {
+		return tree, nil
+	}
+	for _, entry := range strings.Split(s, ";") {
+		eq := strings.LastIndexByte(entry, '=')
+		if eq < 0 {
+			return nil, proto.ErrBadEncoding
+		}
+		v, err := strconv.Atoi(entry[eq+1:])
+		if err != nil {
+			return nil, proto.ErrBadEncoding
+		}
+		tree[entry[:eq]] = v
+	}
+	return tree, nil
+}
+
+func parseEIG(state string) (round, id int, tree map[string]int) {
+	fields, err := proto.Split(state)
+	if err != nil || len(fields) != 3 {
+		return 0, 0, map[string]int{}
+	}
+	round, err = strconv.Atoi(fields[0])
+	if err != nil {
+		return 0, 0, map[string]int{}
+	}
+	id, err = strconv.Atoi(fields[1])
+	if err != nil {
+		return round, 0, map[string]int{}
+	}
+	tree, err = decodeTree(fields[2])
+	if err != nil {
+		return round, id, map[string]int{}
+	}
+	return round, id, tree
+}

@@ -1,0 +1,108 @@
+package protocols
+
+import (
+	"strconv"
+
+	"repro/internal/proto"
+)
+
+// ConstantDecider is a deliberately invalid synchronous protocol: it
+// ignores its input and decides Value after one round. It satisfies
+// agreement and decision trivially and violates validity on runs where
+// Value is nobody's input; the certifier must return a validity-violation
+// witness. Used to exercise that analysis path.
+type ConstantDecider struct {
+	// Value is the constant decision.
+	Value int
+}
+
+var _ proto.SyncProtocol = ConstantDecider{}
+
+// Name implements proto.SyncProtocol.
+func (c ConstantDecider) Name() string { return "constant(" + strconv.Itoa(c.Value) + ")" }
+
+// Init implements proto.SyncProtocol.
+func (c ConstantDecider) Init(n, id, input int) string {
+	return proto.Join("0", strconv.Itoa(input))
+}
+
+// Send implements proto.SyncProtocol: nothing to say.
+func (c ConstantDecider) Send(string) []string { return broadcast("") }
+
+// Deliver implements proto.SyncProtocol: count the round.
+func (c ConstantDecider) Deliver(state string, _ []string) string {
+	fields, err := proto.Split(state)
+	if err != nil || len(fields) != 2 {
+		return state
+	}
+	round, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return state
+	}
+	return proto.Join(strconv.Itoa(round+1), fields[1])
+}
+
+// Decide implements proto.SyncProtocol: the constant, after round 1.
+func (c ConstantDecider) Decide(state string) (int, bool) {
+	fields, err := proto.Split(state)
+	if err != nil || len(fields) != 2 {
+		return 0, false
+	}
+	round, err := strconv.Atoi(fields[0])
+	if err != nil || round < 1 {
+		return 0, false
+	}
+	return c.Value, true
+}
+
+// FlickerDecider is a deliberately broken protocol whose decision variable
+// is not write-once: from round 1 on it "decides" its own input on odd
+// rounds and the flipped input on even rounds. On a constant-input run the
+// round-1 decisions are valid and agreeing, so the first check to fire is
+// the write-once check at the transition into round 2; the certifier must
+// return a DecisionChanged witness.
+type FlickerDecider struct{}
+
+var _ proto.SyncProtocol = FlickerDecider{}
+
+// Name implements proto.SyncProtocol.
+func (FlickerDecider) Name() string { return "flicker" }
+
+// Init implements proto.SyncProtocol.
+func (FlickerDecider) Init(n, id, input int) string {
+	return proto.Join("0", strconv.Itoa(input))
+}
+
+// Send implements proto.SyncProtocol.
+func (FlickerDecider) Send(string) []string { return broadcast("") }
+
+// Deliver implements proto.SyncProtocol.
+func (FlickerDecider) Deliver(state string, _ []string) string {
+	fields, err := proto.Split(state)
+	if err != nil || len(fields) != 2 {
+		return state
+	}
+	round, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return state
+	}
+	return proto.Join(strconv.Itoa(round+1), fields[1])
+}
+
+// Decide implements proto.SyncProtocol: own input on odd rounds, flipped
+// input on even rounds — NOT write-once.
+func (FlickerDecider) Decide(state string) (int, bool) {
+	fields, err := proto.Split(state)
+	if err != nil || len(fields) != 2 {
+		return 0, false
+	}
+	round, err := strconv.Atoi(fields[0])
+	if err != nil || round < 1 {
+		return 0, false
+	}
+	input, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return 0, false
+	}
+	return (input + round + 1) % 2, true
+}

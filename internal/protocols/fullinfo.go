@@ -1,0 +1,76 @@
+package protocols
+
+import (
+	"strconv"
+
+	"repro/internal/proto"
+)
+
+// FullInfo is the synchronous full-information protocol: every round each
+// process broadcasts its entire local state, and its next state is its
+// previous state together with the vector of states received. FullInfo
+// distinguishes every pair of executions that is distinguishable by any
+// protocol, so structural properties (similarity connectivity of layers,
+// the diamond identity, diameter growth) checked on FullInfo are checked in
+// their strongest instance.
+//
+// FullInfo by itself never decides; DecideRule wraps it with a decision
+// rule to obtain a consensus protocol candidate.
+//
+// Local state encoding: a view tree. The initial view is "n|id|input"; the
+// round-r view is Join("V", prev, in[0], ..., in[n-1]) where in[j] is the
+// view received from j ("" if the message was lost).
+type FullInfo struct{}
+
+var _ proto.SyncProtocol = FullInfo{}
+
+// Name implements proto.SyncProtocol.
+func (FullInfo) Name() string { return "fullinfo" }
+
+// Init implements proto.SyncProtocol.
+func (FullInfo) Init(n, id, input int) string {
+	return proto.Join("L", strconv.Itoa(n), strconv.Itoa(id), strconv.Itoa(input))
+}
+
+// Send implements proto.SyncProtocol: broadcast the whole view.
+func (FullInfo) Send(state string) []string { return broadcast(state) }
+
+// Deliver implements proto.SyncProtocol: append the received vector.
+func (FullInfo) Deliver(state string, in []string) string {
+	fields := make([]string, 0, len(in)+2)
+	fields = append(fields, "V", state)
+	fields = append(fields, in...)
+	return proto.Join(fields...)
+}
+
+// Decide implements proto.SyncProtocol: FullInfo never decides.
+func (FullInfo) Decide(string) (int, bool) { return 0, false }
+
+// DecideRule turns a non-deciding synchronous protocol into a consensus
+// candidate by adding an external decision rule evaluated on the local
+// state.
+type DecideRule struct {
+	// P is the underlying protocol.
+	P proto.SyncProtocol
+	// RuleName identifies the rule in Name().
+	RuleName string
+	// Rule maps a local state to a decision.
+	Rule func(state string) (int, bool)
+}
+
+var _ proto.SyncProtocol = DecideRule{}
+
+// Name implements proto.SyncProtocol.
+func (d DecideRule) Name() string { return d.P.Name() + "+" + d.RuleName }
+
+// Init implements proto.SyncProtocol.
+func (d DecideRule) Init(n, id, input int) string { return d.P.Init(n, id, input) }
+
+// Send implements proto.SyncProtocol.
+func (d DecideRule) Send(state string) []string { return d.P.Send(state) }
+
+// Deliver implements proto.SyncProtocol.
+func (d DecideRule) Deliver(state string, in []string) string { return d.P.Deliver(state, in) }
+
+// Decide implements proto.SyncProtocol.
+func (d DecideRule) Decide(state string) (int, bool) { return d.Rule(state) }

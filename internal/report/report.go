@@ -1,0 +1,110 @@
+// Package report provides machine-readable (JSON) views of the framework's
+// analysis results — witnesses, chains, layer reports, width profiles — for
+// the command-line tools' -json output and for downstream tooling.
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/valence"
+)
+
+// StepJSON is one transition of an execution.
+type StepJSON struct {
+	Action string `json:"action"`
+	State  string `json:"state"`
+}
+
+// ExecutionJSON is a serializable execution: per-state decision summaries
+// plus the action labels needed to replay it through the model.
+type ExecutionJSON struct {
+	Init   string     `json:"init"`
+	Steps  []StepJSON `json:"steps"`
+	Layers int        `json:"layers"`
+}
+
+// NewExecution converts an execution; states are rendered with the given
+// formatter (e.g. trace.FormatState, or State.Key for exact replay).
+func NewExecution(e *core.Execution, format func(core.State) string) *ExecutionJSON {
+	if e == nil {
+		return nil
+	}
+	out := &ExecutionJSON{
+		Init:   format(e.Init),
+		Layers: e.Len(),
+	}
+	for _, s := range e.Steps {
+		out.Steps = append(out.Steps, StepJSON{Action: s.Action, State: format(s.State)})
+	}
+	return out
+}
+
+// WitnessJSON is a serializable certification outcome.
+type WitnessJSON struct {
+	Verdict  string         `json:"verdict"`
+	Detail   string         `json:"detail,omitempty"`
+	Explored int            `json:"statesExplored"`
+	Witness  *ExecutionJSON `json:"witness,omitempty"`
+}
+
+// NewWitness converts a certification witness.
+func NewWitness(w *valence.Witness, format func(core.State) string) *WitnessJSON {
+	out := &WitnessJSON{
+		Verdict:  w.Kind.String(),
+		Detail:   w.Detail,
+		Explored: w.Explored,
+	}
+	if w.Kind != valence.OK {
+		out.Witness = NewExecution(w.Exec, format)
+	}
+	return out
+}
+
+// ChainJSON is a serializable bivalent chain.
+type ChainJSON struct {
+	Reached int            `json:"reached"`
+	Stuck   bool           `json:"stuck"`
+	Run     *ExecutionJSON `json:"run"`
+}
+
+// NewChain converts a bivalent chain result.
+func NewChain(c *valence.Chain, format func(core.State) string) *ChainJSON {
+	return &ChainJSON{
+		Reached: c.Reached,
+		Stuck:   c.Stuck != nil,
+		Run:     NewExecution(c.Exec, format),
+	}
+}
+
+// LayerJSON is a serializable layer report.
+type LayerJSON struct {
+	States               int  `json:"states"`
+	SimilarityConnected  bool `json:"similarityConnected"`
+	SimilarityComponents int  `json:"similarityComponents"`
+	SDiameter            int  `json:"sDiameter"`
+	ValenceConnected     bool `json:"valenceConnected"`
+	Bivalent             int  `json:"bivalent"`
+	NullValent           int  `json:"nullValent"`
+}
+
+// NewLayer converts a layer report.
+func NewLayer(r *valence.LayerReport) *LayerJSON {
+	return &LayerJSON{
+		States:               len(r.States),
+		SimilarityConnected:  r.SimilarityConnected,
+		SimilarityComponents: r.SimilarityComponents,
+		SDiameter:            r.SDiameter,
+		ValenceConnected:     r.ValenceConnected,
+		Bivalent:             len(r.BivalentIdx),
+		NullValent:           len(r.NullValentIdx),
+	}
+}
+
+// Write renders any report value as indented JSON.
+func Write(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

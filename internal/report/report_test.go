@@ -1,0 +1,114 @@
+package report_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mobile"
+	"repro/internal/protocols"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/valence"
+)
+
+func refuted(t *testing.T) (*valence.Witness, core.Model) {
+	t.Helper()
+	m := mobile.New(protocols.FloodSet{Rounds: 2}, 3)
+	w, err := valence.Certify(m, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Kind == valence.OK {
+		t.Fatal("expected refutation")
+	}
+	return w, m
+}
+
+func TestWitnessJSONRoundTrip(t *testing.T) {
+	w, _ := refuted(t)
+	var buf bytes.Buffer
+	if err := report.Write(&buf, report.NewWitness(w, trace.FormatState)); err != nil {
+		t.Fatal(err)
+	}
+	var decoded report.WitnessJSON
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Verdict != "agreement violation" {
+		t.Errorf("verdict = %q", decoded.Verdict)
+	}
+	if decoded.Witness == nil || decoded.Witness.Layers != w.Exec.Len() {
+		t.Error("witness execution missing or wrong length")
+	}
+	if len(decoded.Witness.Steps) != w.Exec.Len() {
+		t.Errorf("steps = %d", len(decoded.Witness.Steps))
+	}
+}
+
+func TestWitnessJSONReplayableWithKeys(t *testing.T) {
+	// With State.Key as the formatter, the JSON is exact enough to replay:
+	// following the recorded actions reproduces the recorded keys.
+	w, m := refuted(t)
+	j := report.NewWitness(w, func(x core.State) string { return x.Key() })
+	x := w.Exec.Init
+	if j.Witness.Init != x.Key() {
+		t.Fatal("init key mismatch")
+	}
+	for _, step := range j.Witness.Steps {
+		found := false
+		for _, s := range m.Successors(x) {
+			if s.Action == step.Action {
+				if s.State.Key() != step.State {
+					t.Fatalf("replay diverged at %q", step.Action)
+				}
+				x = s.State
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("action %q not offered", step.Action)
+		}
+	}
+}
+
+func TestChainAndLayerJSON(t *testing.T) {
+	m := mobile.New(protocols.FloodSet{Rounds: 3}, 3)
+	o := valence.NewOracle(m)
+	ch, err := valence.BivalentChain(m, o, valence.DecreasingHorizon(3, 1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj := report.NewChain(ch, trace.FormatState)
+	if cj.Reached != 2 || cj.Stuck {
+		t.Errorf("chain json = %+v", cj)
+	}
+	lr := valence.AnalyzeLayer(m, o, m.Inits()[1], 3)
+	lj := report.NewLayer(lr)
+	if lj.States != len(lr.States) || !lj.SimilarityConnected {
+		t.Errorf("layer json = %+v", lj)
+	}
+	var buf bytes.Buffer
+	if err := report.Write(&buf, lj); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"similarityConnected\": true") {
+		t.Errorf("json = %s", buf.String())
+	}
+}
+
+func TestOKWitnessOmitsExecution(t *testing.T) {
+	m := mobile.New(protocols.FloodSet{Rounds: 2}, 3)
+	// A single univalent root certifies.
+	w, err := valence.CertifyFrom(m, m.Inits()[:1], 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := report.NewWitness(w, trace.FormatState)
+	if j.Verdict != "ok" || j.Witness != nil {
+		t.Errorf("ok witness json = %+v", j)
+	}
+}

@@ -1,0 +1,112 @@
+package shmem_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/protocols"
+	"repro/internal/shmem"
+)
+
+// TestLayeringLegality is the executable content of Lemma 4.3 for S^rw:
+// every synchronic action, applied to every initial state (under the
+// full-information protocol — the strongest instance), must equal the
+// op-level execution of its defining interleaving of legal local phases.
+func TestLayeringLegality(t *testing.T) {
+	const n = 3
+	m := shmem.New(protocols.SMFullInfo{}, n)
+	for a := 0; a < 1<<n; a++ {
+		inputs := []int{a & 1, (a >> 1) & 1, (a >> 2) & 1}
+		x := m.Initial(inputs)
+		for j := 0; j < n; j++ {
+			for k := 0; k <= n; k++ {
+				want := m.Apply(x, j, k)
+				got, err := m.ApplyOps(x, m.StageOps(j, k))
+				if err != nil {
+					t.Fatalf("(%d,%d): %v", j, k, err)
+				}
+				if got.Key() != want.Key() {
+					t.Errorf("inputs=%v action (%d,%d): stage and op semantics differ", inputs, j, k)
+				}
+			}
+			want := m.ApplyAbsent(x, j)
+			got, err := m.ApplyOps(x, m.AbsentOps(j))
+			if err != nil {
+				t.Fatalf("(%d,A): %v", j, err)
+			}
+			if got.Key() != want.Key() {
+				t.Errorf("inputs=%v action (%d,A): stage and op semantics differ", inputs, j)
+			}
+		}
+	}
+}
+
+// TestLayeringLegalityTwoLayers checks composition: two stacked synchronic
+// actions equal the concatenated op sequences executed one layer at a time
+// (phases never span layers).
+func TestLayeringLegalityTwoLayers(t *testing.T) {
+	const n = 3
+	m := shmem.New(protocols.SMFullInfo{}, n)
+	x := m.Initial([]int{0, 1, 1})
+	mid := m.Apply(x, 1, 2)
+	want := m.ApplyAbsent(mid, 0)
+	got1, err := m.ApplyOps(x, m.StageOps(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ApplyOps(got1, m.AbsentOps(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key() != want.Key() {
+		t.Error("two-layer composition differs between stage and op semantics")
+	}
+}
+
+// TestApplyOpsRejectsIllegalPhases checks the phase legality guards.
+func TestApplyOpsRejectsIllegalPhases(t *testing.T) {
+	const n = 2
+	m := shmem.New(protocols.SMFullInfo{}, n)
+	x := m.Initial([]int{0, 1})
+	cases := [][]shmem.Op{
+		{{Kind: shmem.ScanOp, P: 0}},                                                          // scan before write
+		{{Kind: shmem.WriteOp, P: 0}, {Kind: shmem.WriteOp, P: 0}},                            // double write
+		{{Kind: shmem.WriteOp, P: 0}, {Kind: shmem.ScanOp, P: 0}, {Kind: shmem.ScanOp, P: 0}}, // double scan
+		{{Kind: shmem.WriteOp, P: 9}},                                                         // out of range
+	}
+	for i, ops := range cases {
+		if _, err := m.ApplyOps(x, ops); !errors.Is(err, shmem.ErrBadOpSequence) {
+			t.Errorf("case %d: err = %v, want ErrBadOpSequence", i, err)
+		}
+	}
+}
+
+// TestOpOrderWithinStageIrrelevant: writes within W1 touch disjoint
+// registers and scans do not modify them, so permuting ops inside a stage
+// must not change the outcome — the reason the four-stage presentation is
+// well-defined.
+func TestOpOrderWithinStageIrrelevant(t *testing.T) {
+	const n = 3
+	m := shmem.New(protocols.SMFullInfo{}, n)
+	x := m.Initial([]int{1, 0, 1})
+	// Action (0,A) with proper order 1,2 vs 2,1 in both stages.
+	seqA := []shmem.Op{
+		{Kind: shmem.WriteOp, P: 1}, {Kind: shmem.WriteOp, P: 2},
+		{Kind: shmem.ScanOp, P: 1}, {Kind: shmem.ScanOp, P: 2},
+	}
+	seqB := []shmem.Op{
+		{Kind: shmem.WriteOp, P: 2}, {Kind: shmem.WriteOp, P: 1},
+		{Kind: shmem.ScanOp, P: 2}, {Kind: shmem.ScanOp, P: 1},
+	}
+	a, err := m.ApplyOps(x, seqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.ApplyOps(x, seqB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != b.Key() {
+		t.Error("intra-stage op order changed the outcome")
+	}
+}

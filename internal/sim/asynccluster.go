@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// AsyncCluster executes an asynchronous message-passing protocol as n
+// concurrent worker goroutines. The controller enacts scheduling actions —
+// which process performs its next local phase, sequentially or as a
+// concurrent block — and routes messages between mailboxes; the protocol
+// computation itself (Send/Receive) runs inside the worker goroutines.
+// Phase semantics match internal/asyncmp exactly (send from the pre-phase
+// state, then receive everything outstanding), and the package tests
+// cross-validate the cluster against the state-space model action by
+// action.
+//
+// An AsyncCluster owns its goroutines: Close signals them to stop and
+// waits for them to exit.
+type AsyncCluster struct {
+	n       int
+	p       proto.MPProtocol
+	workers []*asyncWorker
+	mailbox [][][]string // mailbox[to][from]: outstanding messages
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type asyncWorker struct {
+	id    int
+	reqC  chan asyncReq
+	stopC chan struct{}
+}
+
+type asyncReq struct {
+	// deliver is nil for a send-phase request; otherwise the outstanding
+	// messages (per sender) to consume.
+	deliver [][]string
+	respC   chan asyncResp
+}
+
+type asyncResp struct {
+	sends   []string
+	state   string
+	decided int
+}
+
+// NewAsyncCluster starts n workers running protocol p from the given
+// inputs.
+func NewAsyncCluster(p proto.MPProtocol, inputs []int) *AsyncCluster {
+	n := len(inputs)
+	c := &AsyncCluster{
+		n:       n,
+		p:       p,
+		workers: make([]*asyncWorker, n),
+		mailbox: make([][][]string, n),
+	}
+	for i := 0; i < n; i++ {
+		c.mailbox[i] = make([][]string, n)
+		w := &asyncWorker{
+			id:    i,
+			reqC:  make(chan asyncReq),
+			stopC: make(chan struct{}),
+		}
+		c.workers[i] = w
+		state := p.Init(n, i, inputs[i])
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.serve(w, state)
+		}()
+	}
+	return c
+}
+
+func (c *AsyncCluster) serve(w *asyncWorker, state string) {
+	for {
+		select {
+		case <-w.stopC:
+			return
+		case req := <-w.reqC:
+			if req.deliver == nil {
+				req.respC <- c.resp(state, c.p.Send(state))
+				continue
+			}
+			state = c.p.Receive(state, req.deliver)
+			req.respC <- c.resp(state, nil)
+		}
+	}
+}
+
+func (c *AsyncCluster) resp(state string, sends []string) asyncResp {
+	r := asyncResp{sends: sends, state: state, decided: core.Undecided}
+	if v, ok := c.p.Decide(state); ok {
+		r.decided = v
+	}
+	return r
+}
+
+// sendPhase asks worker i for its phase messages and routes them.
+func (c *AsyncCluster) sendPhase(i int) {
+	respC := make(chan asyncResp, 1)
+	c.workers[i].reqC <- asyncReq{respC: respC}
+	r := <-respC
+	for d := 0; d < c.n && d < len(r.sends); d++ {
+		if d == i || r.sends[d] == "" {
+			continue
+		}
+		c.mailbox[d][i] = append(c.mailbox[d][i], r.sends[d])
+	}
+}
+
+// recvPhase delivers worker i's outstanding mailbox and returns its
+// decision.
+func (c *AsyncCluster) recvPhase(i int) int {
+	deliver := make([][]string, c.n)
+	for j := 0; j < c.n; j++ {
+		deliver[j] = c.mailbox[i][j]
+		c.mailbox[i][j] = nil
+	}
+	respC := make(chan asyncResp, 1)
+	c.workers[i].reqC <- asyncReq{deliver: deliver, respC: respC}
+	return (<-respC).decided
+}
+
+// Phase runs one complete local phase of process i and returns its
+// post-phase decision.
+func (c *AsyncCluster) Phase(i int) (int, error) {
+	if c.closed {
+		return 0, ErrClosed
+	}
+	c.sendPhase(i)
+	return c.recvPhase(i), nil
+}
+
+// PhaseBlock runs the local phases of a and b as a concurrent block: both
+// send (from their pre-block states) before either receives, so each
+// receives the other's fresh message — the immediate-snapshot orientation.
+func (c *AsyncCluster) PhaseBlock(a, b int) error {
+	if c.closed {
+		return ErrClosed
+	}
+	c.sendPhase(a)
+	c.sendPhase(b)
+	c.recvPhase(a)
+	c.recvPhase(b)
+	return nil
+}
+
+// Schedule runs a sequence of sequential phases.
+func (c *AsyncCluster) Schedule(order []int) error {
+	for _, i := range order {
+		if _, err := c.Phase(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decisions probes every worker's current decision.
+func (c *AsyncCluster) Decisions() ([]int, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	out := make([]int, c.n)
+	for i, w := range c.workers {
+		respC := make(chan asyncResp, 1)
+		w.reqC <- asyncReq{respC: respC}
+		out[i] = (<-respC).decided
+	}
+	return out, nil
+}
+
+// States probes every worker's current protocol state.
+func (c *AsyncCluster) States() ([]string, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	out := make([]string, c.n)
+	for i, w := range c.workers {
+		respC := make(chan asyncResp, 1)
+		w.reqC <- asyncReq{respC: respC}
+		out[i] = (<-respC).state
+	}
+	return out, nil
+}
+
+// Outstanding returns the mailbox backlog for process i, per sender.
+func (c *AsyncCluster) Outstanding(i int) [][]string {
+	out := make([][]string, c.n)
+	for j := 0; j < c.n; j++ {
+		out[j] = append([]string(nil), c.mailbox[i][j]...)
+	}
+	return out
+}
+
+// Close stops all workers and waits for them to exit. Idempotent.
+func (c *AsyncCluster) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, w := range c.workers {
+		close(w.stopC)
+	}
+	c.wg.Wait()
+}

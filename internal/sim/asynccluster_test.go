@@ -1,0 +1,134 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/asyncmp"
+	"repro/internal/core"
+	"repro/internal/protocols"
+	"repro/internal/sim"
+)
+
+// TestAsyncClusterMatchesModel cross-validates the goroutine runtime
+// against the state-space model on a mixed schedule: sequential phases, a
+// concurrent block, and a drop-one round.
+func TestAsyncClusterMatchesModel(t *testing.T) {
+	const n, phases = 3, 3
+	p := protocols.MPFlood{Phases: phases}
+	inputs := []int{0, 1, 1}
+
+	c := sim.NewAsyncCluster(p, inputs)
+	defer c.Close()
+	m := asyncmp.New(p, n)
+	x := m.Initial(inputs)
+
+	// Layer 1: full permutation [2,0,1].
+	if err := c.Schedule([]int{2, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	x = m.Sequential(x, []int{2, 0, 1})
+	// Layer 2: concurrent block {0,1} then 2.
+	if err := c.PhaseBlock(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Phase(2); err != nil {
+		t.Fatal(err)
+	}
+	x = m.WithPair(x, []int{0, 1, 2}, 0)
+	// Layer 3: drop process 1.
+	if err := c.Schedule([]int{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	x = m.Sequential(x, []int{0, 2})
+
+	states, err := c.States()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if states[i] != x.ProtocolState(i) {
+			t.Errorf("process %d: cluster state %q != model %q", i, states[i], x.ProtocolState(i))
+		}
+	}
+	// Outstanding backlogs must match too.
+	for i := 0; i < n; i++ {
+		model := x.Outstanding(i)
+		cluster := c.Outstanding(i)
+		for j := 0; j < n; j++ {
+			if len(model[j]) != len(cluster[j]) {
+				t.Errorf("outstanding %d->%d: cluster %d != model %d", j, i, len(cluster[j]), len(model[j]))
+				continue
+			}
+			for k := range model[j] {
+				if model[j][k] != cluster[j][k] {
+					t.Errorf("outstanding %d->%d[%d] differs", j, i, k)
+				}
+			}
+		}
+	}
+}
+
+// TestAsyncClusterDecisions: flooding decides after its phase budget.
+func TestAsyncClusterDecisions(t *testing.T) {
+	const n = 3
+	p := protocols.MPFlood{Phases: 2}
+	c := sim.NewAsyncCluster(p, []int{1, 1, 1})
+	defer c.Close()
+	for r := 0; r < 2; r++ {
+		if err := c.Schedule([]int{0, 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	decisions, err := c.Decisions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range decisions {
+		if v != 1 {
+			t.Errorf("process %d decided %d, want 1", i, v)
+		}
+	}
+}
+
+// TestAsyncClusterStarvation: never scheduling a process leaves it
+// undecided with a growing backlog, while the others decide.
+func TestAsyncClusterStarvation(t *testing.T) {
+	const n = 3
+	p := protocols.MPFlood{Phases: 2}
+	c := sim.NewAsyncCluster(p, []int{0, 1, 1})
+	defer c.Close()
+	for r := 0; r < 3; r++ {
+		if err := c.Schedule([]int{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	decisions, err := c.Decisions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decisions[0] != core.Undecided {
+		t.Errorf("starved process decided %d", decisions[0])
+	}
+	if decisions[1] == core.Undecided || decisions[2] == core.Undecided {
+		t.Error("scheduled processes undecided")
+	}
+	if got := c.Outstanding(0); len(got[1]) != 3 || len(got[2]) != 3 {
+		t.Errorf("starved backlog = %d,%d, want 3,3", len(got[1]), len(got[2]))
+	}
+}
+
+// TestAsyncClusterClose: idempotent shutdown, operations fail after.
+func TestAsyncClusterClose(t *testing.T) {
+	c := sim.NewAsyncCluster(protocols.MPFlood{Phases: 1}, []int{0, 1})
+	c.Close()
+	c.Close()
+	if _, err := c.Phase(0); err == nil {
+		t.Error("Phase after Close must fail")
+	}
+	if err := c.PhaseBlock(0, 1); err == nil {
+		t.Error("PhaseBlock after Close must fail")
+	}
+	if _, err := c.Decisions(); err == nil {
+		t.Error("Decisions after Close must fail")
+	}
+}

@@ -1,0 +1,37 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/protocols"
+	"repro/internal/sim"
+	"repro/internal/syncmp"
+)
+
+func BenchmarkRunnerRandomRun(b *testing.B) {
+	const n, tt = 4, 2
+	p := protocols.FloodSet{Rounds: tt + 1}
+	m := syncmp.NewSt(p, n, tt)
+	r := &sim.Runner{Model: m, MaxLayers: tt + 1}
+	init := m.Initial([]int{0, 1, 0, 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := r.Run(init, sim.NewRandom(int64(i)))
+		if err != nil || !out.Agreement {
+			b.Fatal("run failed")
+		}
+	}
+}
+
+func BenchmarkClusterRound(b *testing.B) {
+	p := protocols.FloodSet{Rounds: 1 << 30} // never decide: pure round cost
+	c := sim.NewCluster(p, []int{0, 1, 0, 1})
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Step(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// Starve is the canonical 1-resilient adversary for the permutation-
+// layered models: at every layer it picks an action that excludes the
+// target process (a drop-one sequence without it), so the target never
+// takes a local phase. All other processes run forever — exactly the
+// fairness boundary the asynchronous models allow.
+type Starve struct {
+	// Process is the process to starve.
+	Process int
+}
+
+var _ Scheduler = Starve{}
+
+// Name implements Scheduler.
+func (s Starve) Name() string { return "starve(" + strconv.Itoa(s.Process) + ")" }
+
+// Next implements Scheduler: choose the first action whose label does not
+// mention the target process; stop if none exists (the model does not
+// support starvation).
+func (s Starve) Next(_ core.State, succs []core.Succ) (int, bool) {
+	needle := strconv.Itoa(s.Process)
+	for i, succ := range succs {
+		if !actionMentions(succ.Action, needle) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// actionMentions reports whether the action label contains the process id
+// as a standalone token (ids are single- or multi-digit decimal numbers
+// separated by punctuation in every model's labels).
+func actionMentions(action, id string) bool {
+	start := -1
+	for i := 0; i <= len(action); i++ {
+		isDigit := i < len(action) && action[i] >= '0' && action[i] <= '9'
+		if isDigit {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			if action[start:i] == id {
+				return true
+			}
+			start = -1
+		}
+	}
+	return false
+}

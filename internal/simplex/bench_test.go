@@ -1,0 +1,83 @@
+package simplex
+
+import (
+	"testing"
+)
+
+func binaryCube(n int) *Complex {
+	c := NewComplex()
+	for a := 0; a < 1<<uint(n); a++ {
+		vals := make([]int, n)
+		for i := 0; i < n; i++ {
+			vals[i] = (a >> uint(i)) & 1
+		}
+		c.Add(FromValues(vals))
+	}
+	return c
+}
+
+func BenchmarkComplexAdd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = binaryCube(4)
+	}
+}
+
+func BenchmarkThickConnected(b *testing.B) {
+	c := binaryCube(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !c.ThickConnected(4, 1) {
+			b.Fatal("cube disconnected")
+		}
+	}
+}
+
+func BenchmarkKThickConnectedConsensusSearch(b *testing.B) {
+	// Exhaustive subproblem search that must conclude "unsolvable".
+	const n = 3
+	p := consensusProblem(n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, ok, err := p.KThickConnected(1, 0)
+		if err != nil || ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// consensusProblem duplicates the tasks.BinaryConsensus construction
+// locally to avoid an import cycle with the tasks package.
+func consensusProblem(n int) *Problem {
+	var inputs []Simplex
+	for a := 0; a < 1<<uint(n); a++ {
+		vals := make([]int, n)
+		for i := 0; i < n; i++ {
+			vals[i] = (a >> uint(i)) & 1
+		}
+		inputs = append(inputs, FromValues(vals))
+	}
+	constant := func(v int) Simplex {
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = v
+		}
+		return FromValues(vals)
+	}
+	return &Problem{
+		Name:   "consensus",
+		N:      n,
+		Inputs: inputs,
+		Delta: func(in Simplex) []Simplex {
+			seen := map[int]bool{}
+			var out []Simplex
+			for _, v := range in.Vertices() {
+				if !seen[v.Value] {
+					seen[v.Value] = true
+					out = append(out, constant(v.Value))
+				}
+			}
+			return out
+		},
+	}
+}

@@ -1,0 +1,24 @@
+// Package syncmp implements the round-based synchronous message-passing
+// model of Section 6 of the paper: the standard t-resilient synchronous
+// model with sending-omission/crash failures.
+//
+// The environment acts once per round with an action (j, G): all messages
+// sent in the upcoming round by process j to processes in G are lost. Per
+// the paper's Section-6 assumptions, (i) in the first round in which a
+// process fails the environment blocks an arbitrary subset of its messages,
+// (ii) the environment silences a faulty process forever in all later
+// rounds, and (iii) the environment's local state keeps track of the failed
+// processes (so the failed set is part of EnvKey and of the state Key).
+//
+// Two layerings are provided:
+//
+//   - S1: one omission per layer, S1(x) = { x(j,[k]) : 1<=j<=n, 0<=k<=n },
+//     where [k] = {1,...,k} (processes 0..k-1 in 0-based indexing) and
+//     (j,[0]) is the failure-free action.
+//   - S^t: S1 while fewer than t processes are failed, and the single
+//     failure-free action afterwards (Section 6).
+//
+// The round mechanics (ApplyAction, Round) are exported so that the mobile
+// failure model M^mf (package mobile) can reuse them with its own failure
+// semantics.
+package syncmp

@@ -1,0 +1,147 @@
+package syncmp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// MultiModel generalizes the S^t layering to allow up to MaxPerRound new
+// omission failures in a single round, as in the closing discussion of
+// Section 6 (the Dwork–Moses "wasted faults" analysis): by failing k+w
+// processes within the first k rounds the environment wastes w faults, and
+// bivalence must end w rounds earlier. The failure budget t still caps the
+// run's total failures.
+type MultiModel struct {
+	p           proto.SyncProtocol
+	n           int
+	t           int
+	maxPerRound int
+	name        string
+}
+
+var _ core.Model = (*MultiModel)(nil)
+
+// NewStMulti returns the t-resilient synchronous model whose layers allow
+// up to maxPerRound simultaneous new failures.
+func NewStMulti(p proto.SyncProtocol, n, t, maxPerRound int) *MultiModel {
+	return &MultiModel{
+		p:           p,
+		n:           n,
+		t:           t,
+		maxPerRound: maxPerRound,
+		name:        fmt.Sprintf("syncmp/StMulti(n=%d,t=%d,c=%d,%s)", n, t, maxPerRound, p.Name()),
+	}
+}
+
+// Name implements core.Model.
+func (m *MultiModel) Name() string { return m.name }
+
+// N returns the number of processes.
+func (m *MultiModel) N() int { return m.n }
+
+// T returns the failure budget.
+func (m *MultiModel) T() int { return m.t }
+
+// Inits implements core.Model.
+func (m *MultiModel) Inits() []core.State {
+	out := make([]core.State, 0, 1<<uint(m.n))
+	for a := 0; a < 1<<uint(m.n); a++ {
+		out = append(out, m.Initial(binaryInputs(m.n, a)))
+	}
+	return out
+}
+
+// Initial builds the initial state for an explicit input assignment.
+func (m *MultiModel) Initial(inputs []int) *State {
+	locals := make([]string, m.n)
+	for i := range locals {
+		locals[i] = m.p.Init(m.n, i, inputs[i])
+	}
+	return NewState(m.p, 0, locals, 0, true, inputs)
+}
+
+// Omission is one process's new failure in a round: j omits to the prefix
+// set [K] (1 <= K <= n) and is silenced afterwards.
+type Omission struct {
+	J int
+	K int
+}
+
+// ApplyMulti applies one round in which every listed process fails
+// simultaneously (and previously-failed processes stay silenced).
+func (m *MultiModel) ApplyMulti(x *State, oms []Omission) *State {
+	failNow := uint64(0)
+	masks := make(map[int]uint64, len(oms))
+	for _, om := range oms {
+		failNow |= 1 << uint(om.J)
+		masks[om.J] = OmitMask(om.K)
+	}
+	drop := func(from, to int) bool {
+		if x.failed&(1<<uint(from)) != 0 {
+			return true
+		}
+		if mask, ok := masks[from]; ok {
+			return mask&(1<<uint(to)) != 0
+		}
+		return false
+	}
+	next := Round(m.p, x.locals, drop)
+	return NewState(m.p, x.round+1, next, x.failed|failNow, true, x.inputs)
+}
+
+// Successors implements core.Model: the failure-free round plus every
+// combination of up to maxPerRound new failures within the remaining
+// budget.
+func (m *MultiModel) Successors(x core.State) []core.Succ {
+	s, ok := x.(*State)
+	if !ok {
+		return nil
+	}
+	out := []core.Succ{{
+		Action: "noop",
+		State:  m.ApplyMulti(s, nil),
+	}}
+	budget := m.t - s.FailedCount()
+	limit := m.maxPerRound
+	if budget < limit {
+		limit = budget
+	}
+	var alive []int
+	for j := 0; j < m.n; j++ {
+		if !s.FailedAt(j) {
+			alive = append(alive, j)
+		}
+	}
+	var build func(start int, oms []Omission)
+	build = func(start int, oms []Omission) {
+		if len(oms) > 0 {
+			out = append(out, core.Succ{
+				Action: omissionLabel(oms),
+				State:  m.ApplyMulti(s, oms),
+			})
+		}
+		if len(oms) == limit {
+			return
+		}
+		for idx := start; idx < len(alive); idx++ {
+			for k := 1; k <= m.n; k++ {
+				next := append(append([]Omission(nil), oms...), Omission{J: alive[idx], K: k})
+				build(idx+1, next)
+			}
+		}
+	}
+	build(0, nil)
+	return out
+}
+
+func omissionLabel(oms []Omission) string {
+	parts := make([]string, len(oms))
+	for i, om := range oms {
+		parts[i] = "(" + strconv.Itoa(om.J) + ",[" + strconv.Itoa(om.K) + "])"
+	}
+	return strings.Join(parts, "+")
+}

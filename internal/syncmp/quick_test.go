@@ -1,0 +1,74 @@
+package syncmp_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/protocols"
+	"repro/internal/syncmp"
+)
+
+// TestQuickReplayDeterminism: replaying any action sequence from any
+// initial state yields byte-identical keys — the executable form of the
+// admissibility (pasting) requirement.
+func TestQuickReplayDeterminism(t *testing.T) {
+	const n, tt = 3, 1
+	p := protocols.FloodSet{Rounds: tt + 1}
+	m := syncmp.NewSt(p, n, tt)
+	f := func(inputBits uint8, choices []uint8) bool {
+		x := m.Initial([]int{int(inputBits) & 1, int(inputBits>>1) & 1, int(inputBits>>2) & 1})
+		run := func() string {
+			var cur = x
+			for _, c := range choices {
+				succs := m.Successors(cur)
+				next := succs[int(c)%len(succs)].State
+				var ok bool
+				cur, ok = next.(*syncmp.State)
+				if !ok {
+					return "cast-failure"
+				}
+			}
+			return cur.Key()
+		}
+		return run() == run()
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKeyComponents: two states are key-equal exactly if round,
+// failed set, and all locals coincide.
+func TestQuickKeyComponents(t *testing.T) {
+	p := protocols.FullInfo{}
+	f := func(roundA, roundB uint8, failedA, failedB uint8, l1, l2, l3 string) bool {
+		a := syncmp.NewState(p, int(roundA%4), []string{l1, l2, l3}, uint64(failedA%8), true, nil)
+		b := syncmp.NewState(p, int(roundB%4), []string{l1, l2, l3}, uint64(failedB%8), true, nil)
+		wantEqual := roundA%4 == roundB%4 && failedA%8 == failedB%8
+		return (a.Key() == b.Key()) == wantEqual
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLocalKeyInjective: changing exactly one local changes the key.
+func TestQuickLocalKeyInjective(t *testing.T) {
+	p := protocols.FullInfo{}
+	f := func(l1, l2, l3, alt string, which uint8) bool {
+		locals := []string{l1, l2, l3}
+		a := syncmp.NewState(p, 1, locals, 0, true, nil)
+		mod := append([]string(nil), locals...)
+		i := int(which) % 3
+		mod[i] = alt
+		b := syncmp.NewState(p, 1, mod, 0, true, nil)
+		return (a.Key() == b.Key()) == (locals[i] == alt)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 60}
+}

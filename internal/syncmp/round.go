@@ -1,0 +1,76 @@
+package syncmp
+
+import (
+	"repro/internal/proto"
+)
+
+// DropFunc decides whether the message from process `from` to process `to`
+// is lost in the current round.
+type DropFunc func(from, to int) bool
+
+// Round executes one synchronous round of protocol p from the given local
+// states: every process emits its messages, drop filters them, and every
+// process consumes what arrived. It returns the next local states.
+func Round(p proto.SyncProtocol, locals []string, drop DropFunc) []string {
+	n := len(locals)
+	sends := make([][]string, n)
+	for i, l := range locals {
+		sends[i] = p.Send(l)
+	}
+	next := make([]string, n)
+	in := make([]string, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			switch {
+			case i == j:
+				in[i] = ""
+			case drop != nil && drop(i, j):
+				in[i] = ""
+			default:
+				in[i] = sends[i][j]
+			}
+		}
+		next[j] = p.Deliver(locals[j], in)
+	}
+	return next
+}
+
+// OmitMask returns the paper's omission set [k] = {first k processes} as a
+// bitmask over 0-based ids: processes 0..k-1.
+func OmitMask(k int) uint64 {
+	return (uint64(1) << uint(k)) - 1
+}
+
+// ApplyAction applies the environment action (j, G) to state x under
+// protocol p: messages from j to the processes in omitTo are lost this
+// round. If silenceFailed is true, all messages from processes already
+// recorded as failed in x are also lost (the Section-6 silencing rule). If
+// record is true and omitTo is non-empty, j is recorded as failed in the
+// successor's environment.
+//
+// j is a 0-based process id; omitTo is a bitmask of 0-based ids.
+func ApplyAction(p proto.SyncProtocol, x *State, j int, omitTo uint64, record, silenceFailed bool) *State {
+	return ApplyActionMode(p, x, j, omitTo, record, silenceFailed, false)
+}
+
+// ApplyActionMode is ApplyAction with an explicit failure mode: when
+// generalOmission is true, processes already recorded as failed also lose
+// their incoming messages (general omission) instead of only their
+// outgoing ones (sending omission, the paper's model).
+func ApplyActionMode(p proto.SyncProtocol, x *State, j int, omitTo uint64, record, silenceFailed, generalOmission bool) *State {
+	drop := func(from, to int) bool {
+		if silenceFailed && x.failed&(1<<uint(from)) != 0 {
+			return true
+		}
+		if generalOmission && x.failed&(1<<uint(to)) != 0 {
+			return true
+		}
+		return from == j && omitTo&(1<<uint(to)) != 0
+	}
+	next := Round(p, x.locals, drop)
+	failed := x.failed
+	if record && omitTo != 0 {
+		failed |= 1 << uint(j)
+	}
+	return NewState(p, x.round+1, next, failed, x.trackEn, x.inputs)
+}

@@ -1,0 +1,114 @@
+package syncmp
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// State is a global state of a round-based synchronous message-passing
+// system. It is immutable after construction: all derived fields (key,
+// decisions) are precomputed.
+type State struct {
+	n       int
+	round   int
+	locals  []string
+	failed  uint64 // bitmask of processes recorded as failed by the environment
+	trackEn bool   // whether the failed set is part of the environment state
+	decided []int  // per-process decision (core.Undecided if none)
+	inputs  []int  // initial inputs of the run (reporting metadata; not in Key)
+	key     string
+	envKey  string
+}
+
+var (
+	_ core.State = (*State)(nil)
+	_ core.Input = (*State)(nil)
+)
+
+// NewState assembles an immutable state. When trackEnv is true (the
+// t-resilient model of Section 6) the failed bitmask is part of the
+// environment state; when false (the mobile model M^mf) the environment
+// consists of the round number only and failed must be 0.
+func NewState(p proto.Decider, round int, locals []string, failed uint64, trackEnv bool, inputs []int) *State {
+	n := len(locals)
+	s := &State{
+		n:       n,
+		round:   round,
+		locals:  append([]string(nil), locals...),
+		failed:  failed,
+		trackEn: trackEnv,
+		decided: make([]int, n),
+		inputs:  append([]int(nil), inputs...),
+	}
+	for i, l := range locals {
+		if v, ok := p.Decide(l); ok {
+			s.decided[i] = v
+		} else {
+			s.decided[i] = core.Undecided
+		}
+	}
+	if trackEnv {
+		s.envKey = proto.Join("r"+strconv.Itoa(round), "f"+strconv.FormatUint(failed, 16))
+	} else {
+		s.envKey = proto.Join("r" + strconv.Itoa(round))
+	}
+	fields := make([]string, 0, n+1)
+	fields = append(fields, s.envKey)
+	fields = append(fields, s.locals...)
+	s.key = proto.Join(fields...)
+	return s
+}
+
+// N implements core.State.
+func (s *State) N() int { return s.n }
+
+// Key implements core.State.
+func (s *State) Key() string { return s.key }
+
+// EnvKey implements core.State.
+func (s *State) EnvKey() string { return s.envKey }
+
+// Local implements core.State.
+func (s *State) Local(i int) string { return s.locals[i] }
+
+// Decided implements core.State.
+func (s *State) Decided(i int) (int, bool) {
+	if s.decided[i] == core.Undecided {
+		return core.Undecided, false
+	}
+	return s.decided[i], true
+}
+
+// FailedAt implements core.State. In the t-resilient model a process
+// recorded as failed is silenced forever and is therefore faulty in every
+// run through this state. In the mobile model no process is ever failed at a
+// state (the model displays no finite failure).
+func (s *State) FailedAt(i int) bool {
+	if !s.trackEn {
+		return false
+	}
+	return s.failed&(1<<uint(i)) != 0
+}
+
+// InputOf implements core.Input.
+func (s *State) InputOf(i int) int { return s.inputs[i] }
+
+// Round returns the round number (the number of layers applied so far).
+func (s *State) Round() int { return s.round }
+
+// Failed returns the bitmask of processes recorded as failed.
+func (s *State) Failed() uint64 { return s.failed }
+
+// FailedCount returns the number of processes recorded as failed.
+func (s *State) FailedCount() int {
+	c := 0
+	for f := s.failed; f != 0; f &= f - 1 {
+		c++
+	}
+	return c
+}
+
+// Locals returns a copy of the per-process local states.
+func (s *State) Locals() []string { return append([]string(nil), s.locals...) }

@@ -1,0 +1,331 @@
+// Package tasks defines the decision-problem zoo used to exercise the
+// Section 7 characterization: for each task we record the ground-truth
+// 1-resilient solvability verdict from the literature, and the experiments
+// check that the paper's 1-thick-connectivity condition reproduces it.
+package tasks
+
+import (
+	"fmt"
+
+	"repro/internal/simplex"
+)
+
+// Task couples a decision problem with its ground-truth verdict.
+type Task struct {
+	Problem *simplex.Problem
+	// Solvable1Resilient is the literature's verdict for 1-resilient
+	// solvability in the asynchronous models (equivalently, per Corollary
+	// 7.3, in any of the paper's four models/submodels).
+	Solvable1Resilient bool
+	// SubproblemBudget caps the Δ' search for this task (0 = default).
+	SubproblemBudget int
+}
+
+// binaryInputs returns all 2^n binary input n-simplexes.
+func binaryInputs(n int) []simplex.Simplex {
+	out := make([]simplex.Simplex, 0, 1<<uint(n))
+	for a := 0; a < 1<<uint(n); a++ {
+		vals := make([]int, n)
+		for i := 0; i < n; i++ {
+			vals[i] = (a >> uint(i)) & 1
+		}
+		out = append(out, simplex.FromValues(vals))
+	}
+	return out
+}
+
+// constant returns the n-simplex with every process deciding v.
+func constant(n, v int) simplex.Simplex {
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = v
+	}
+	return simplex.FromValues(vals)
+}
+
+// values returns the distinct values of a simplex.
+func values(s simplex.Simplex) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, v := range s.Vertices() {
+		if !seen[v.Value] {
+			seen[v.Value] = true
+			out = append(out, v.Value)
+		}
+	}
+	return out
+}
+
+// BinaryConsensus is the classical binary consensus task: all processes
+// decide one common value that is somebody's input. Not 1-resiliently
+// solvable (FLP; Corollaries 5.2/5.4 and Theorem 7.2).
+func BinaryConsensus(n int) Task {
+	return Task{
+		Problem: &simplex.Problem{
+			Name:   fmt.Sprintf("consensus(n=%d)", n),
+			N:      n,
+			Inputs: binaryInputs(n),
+			Delta: func(in simplex.Simplex) []simplex.Simplex {
+				var out []simplex.Simplex
+				for _, v := range values(in) {
+					out = append(out, constant(n, v))
+				}
+				return out
+			},
+		},
+		Solvable1Resilient: false,
+	}
+}
+
+// KSetAgreement is k-set agreement over binary inputs: every decision is
+// somebody's input and at most k distinct values are decided. For k >= 2 it
+// is 1-resiliently solvable; k = 1 is consensus.
+func KSetAgreement(n, k int) Task {
+	return Task{
+		Problem: &simplex.Problem{
+			Name:   fmt.Sprintf("%d-set-agreement(n=%d)", k, n),
+			N:      n,
+			Inputs: binaryInputs(n),
+			Delta: func(in simplex.Simplex) []simplex.Simplex {
+				allowed := values(in)
+				var out []simplex.Simplex
+				assign := make([]int, n)
+				var rec func(i int)
+				rec = func(i int) {
+					if i == n {
+						if len(values(simplex.FromValues(assign))) <= k {
+							out = append(out, simplex.FromValues(assign))
+						}
+						return
+					}
+					for _, v := range allowed {
+						assign[i] = v
+						rec(i + 1)
+					}
+				}
+				rec(0)
+				return out
+			},
+		},
+		Solvable1Resilient: k >= 2,
+		// The per-input option sets are large; cap the Δ' search and rely
+		// on the canonical Δ' = Δ being checked first.
+		SubproblemBudget: 1,
+	}
+}
+
+// Identity is the trivial task "decide your own input". 1-resiliently
+// solvable (no communication needed).
+func Identity(n int) Task {
+	return Task{
+		Problem: &simplex.Problem{
+			Name:   fmt.Sprintf("identity(n=%d)", n),
+			N:      n,
+			Inputs: binaryInputs(n),
+			Delta: func(in simplex.Simplex) []simplex.Simplex {
+				return []simplex.Simplex{in}
+			},
+		},
+		Solvable1Resilient: true,
+	}
+}
+
+// ConstantTask is the trivial task "everyone decides v" regardless of
+// inputs. 1-resiliently solvable.
+func ConstantTask(n, v int) Task {
+	return Task{
+		Problem: &simplex.Problem{
+			Name:   fmt.Sprintf("constant-%d(n=%d)", v, n),
+			N:      n,
+			Inputs: binaryInputs(n),
+			Delta: func(simplex.Simplex) []simplex.Simplex {
+				return []simplex.Simplex{constant(n, v)}
+			},
+		},
+		Solvable1Resilient: true,
+	}
+}
+
+// LeaderElection is the inputless election task: all processes decide the
+// id of one common leader, any leader will do. Despite the agreement
+// flavor, it IS 1-resiliently solvable: with a known id space every process
+// can decide leader 0 without communicating. The paper's condition detects
+// this via the constant subproblem Δ'(s) = {⟨everyone decides 0⟩} — a nice
+// exhibit of why the characterization quantifies over subproblems.
+func LeaderElection(n int) Task {
+	return Task{
+		Problem: &simplex.Problem{
+			Name:   fmt.Sprintf("leader-election(n=%d)", n),
+			N:      n,
+			Inputs: []simplex.Simplex{constant(n, 0)},
+			Delta: func(simplex.Simplex) []simplex.Simplex {
+				out := make([]simplex.Simplex, 0, n)
+				for i := 0; i < n; i++ {
+					out = append(out, constant(n, i))
+				}
+				return out
+			},
+		},
+		Solvable1Resilient: true,
+	}
+}
+
+// HolderElection is election with real input dependence: inputs are binary
+// with at least one process holding 1, and all processes must decide the id
+// of a common process whose input is 1. Knowing who holds 1 requires
+// agreement-grade coordination; the task is not 1-resiliently solvable.
+func HolderElection(n int) Task {
+	var inputs []simplex.Simplex
+	for _, s := range binaryInputs(n) {
+		for _, v := range s.Vertices() {
+			if v.Value == 1 {
+				inputs = append(inputs, s)
+				break
+			}
+		}
+	}
+	return Task{
+		Problem: &simplex.Problem{
+			Name:   fmt.Sprintf("holder-election(n=%d)", n),
+			N:      n,
+			Inputs: inputs,
+			Delta: func(in simplex.Simplex) []simplex.Simplex {
+				var out []simplex.Simplex
+				for _, v := range in.Vertices() {
+					if v.Value == 1 {
+						out = append(out, constant(n, v.ID))
+					}
+				}
+				return out
+			},
+		},
+		Solvable1Resilient: false,
+	}
+}
+
+// EpsilonFlag is a toy solvable coordination task: processes decide binary
+// flags such that the decisions differ pairwise by at most one process from
+// some input-dependent anchor — concretely, each process may decide its own
+// input or the input of process 0. It is 1-resiliently solvable (decide own
+// input; a degenerate Δ' exists) and exercises non-trivial Δ sets.
+func EpsilonFlag(n int) Task {
+	return Task{
+		Problem: &simplex.Problem{
+			Name:   fmt.Sprintf("epsilon-flag(n=%d)", n),
+			N:      n,
+			Inputs: binaryInputs(n),
+			Delta: func(in simplex.Simplex) []simplex.Simplex {
+				anchor, _ := in.ValueOf(0)
+				var out []simplex.Simplex
+				assign := make([]int, n)
+				var rec func(i int)
+				rec = func(i int) {
+					if i == n {
+						out = append(out, simplex.FromValues(assign))
+						return
+					}
+					own, _ := in.ValueOf(i)
+					seen := map[int]bool{}
+					for _, v := range []int{own, anchor} {
+						if seen[v] {
+							continue
+						}
+						seen[v] = true
+						assign[i] = v
+						rec(i + 1)
+					}
+				}
+				rec(0)
+				return out
+			},
+		},
+		Solvable1Resilient: true,
+		SubproblemBudget:   1,
+	}
+}
+
+// Majority is the forced-choice flavor of consensus for odd n: all
+// processes must decide the strict majority of the inputs. Δ is a
+// singleton everywhere, so there is only one subproblem, and adjacent
+// inputs across the majority boundary map to the two disjoint constants:
+// not 1-thick connected, hence not 1-resiliently solvable.
+func Majority(n int) Task {
+	if n%2 == 0 {
+		n++ // keep the majority strict
+	}
+	return Task{
+		Problem: &simplex.Problem{
+			Name:   fmt.Sprintf("majority(n=%d)", n),
+			N:      n,
+			Inputs: binaryInputs(n),
+			Delta: func(in simplex.Simplex) []simplex.Simplex {
+				ones := 0
+				for _, v := range in.Vertices() {
+					ones += v.Value
+				}
+				maj := 0
+				if 2*ones > n {
+					maj = 1
+				}
+				return []simplex.Simplex{constant(n, maj)}
+			},
+		},
+		Solvable1Resilient: false,
+	}
+}
+
+// Renaming is loose renaming: processes decide pairwise-distinct names
+// from a space of 2n-1 names (inputs carry no information — the binary
+// inputs are kept only so the task shares Con_0 with the others).
+// (2n-1)-renaming is wait-free solvable, hence 1-resiliently solvable.
+func Renaming(n int) Task {
+	names := 2*n - 1
+	var outputs []simplex.Simplex
+	assign := make([]int, n)
+	used := make([]bool, names)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			outputs = append(outputs, simplex.FromValues(assign))
+			return
+		}
+		for v := 0; v < names; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			assign[i] = v
+			rec(i + 1)
+			used[v] = false
+		}
+	}
+	rec(0)
+	return Task{
+		Problem: &simplex.Problem{
+			Name:   fmt.Sprintf("renaming(n=%d,names=%d)", n, names),
+			N:      n,
+			Inputs: binaryInputs(n),
+			Delta: func(simplex.Simplex) []simplex.Simplex {
+				return outputs
+			},
+		},
+		Solvable1Resilient: true,
+		// The output sets are large; the canonical Δ' = Δ check suffices.
+		SubproblemBudget: 1,
+	}
+}
+
+// Zoo returns the standard task collection for n processes.
+func Zoo(n int) []Task {
+	return []Task{
+		BinaryConsensus(n),
+		KSetAgreement(n, 2),
+		Identity(n),
+		ConstantTask(n, 0),
+		LeaderElection(n),
+		HolderElection(n),
+		EpsilonFlag(n),
+		Majority(n),
+		Renaming(n),
+	}
+}

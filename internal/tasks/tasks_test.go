@@ -1,0 +1,108 @@
+package tasks_test
+
+import (
+	"testing"
+
+	"repro/internal/tasks"
+)
+
+// TestZooVerdicts is experiment E7's core: the paper's 1-thick-connectivity
+// condition (Theorem 7.2 / Corollary 7.3) must reproduce the literature's
+// 1-resilient solvability verdict for every task in the zoo.
+func TestZooVerdicts(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		for _, task := range tasks.Zoo(n) {
+			budget := task.SubproblemBudget
+			if budget == 0 {
+				budget = 1_000_000
+			}
+			_, ok, err := task.Problem.KThickConnected(1, budget)
+			if err != nil {
+				t.Errorf("n=%d %s: %v", n, task.Problem.Name, err)
+				continue
+			}
+			if ok != task.Solvable1Resilient {
+				t.Errorf("n=%d %s: 1-thick-connected = %v, literature says solvable = %v",
+					n, task.Problem.Name, ok, task.Solvable1Resilient)
+			}
+		}
+	}
+}
+
+// TestConsensusDisconnectedComponents pins down WHY consensus fails: for
+// the full input set, C_Δ(I) consists of the two constant simplexes, which
+// form two 1-thick components.
+func TestConsensusDisconnectedComponents(t *testing.T) {
+	const n = 3
+	task := tasks.BinaryConsensus(n)
+	c := task.Problem.OutputComplex(task.Problem.Inputs)
+	comps := c.ThickComponents(n, 1)
+	if len(comps) != 2 {
+		t.Errorf("consensus output complex has %d 1-thick components, want 2", len(comps))
+	}
+}
+
+// TestKSetOutputRichness sanity-checks the 2-set-agreement Δ: a mixed input
+// allows every binary output vector, a constant input only the constant.
+func TestKSetOutputRichness(t *testing.T) {
+	const n = 3
+	task := tasks.KSetAgreement(n, 2)
+	mixed := task.Problem.Inputs[1] // inputs 1,0,0
+	if got := len(task.Problem.Delta(mixed)); got != 8 {
+		t.Errorf("mixed input allows %d outputs, want 8", got)
+	}
+	constant := task.Problem.Inputs[0] // inputs 0,0,0
+	if got := len(task.Problem.Delta(constant)); got != 1 {
+		t.Errorf("constant input allows %d outputs, want 1", got)
+	}
+}
+
+// TestConsensusIsOneSetAgreement: k=1 set agreement must coincide with
+// consensus in verdict.
+func TestConsensusIsOneSetAgreement(t *testing.T) {
+	const n = 3
+	one := tasks.KSetAgreement(n, 1)
+	_, ok, err := one.Problem.KThickConnected(1, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("1-set agreement reported 1-thick connected; it is consensus and must not be")
+	}
+}
+
+// TestLeaderElectionComponents: the FULL Δ has one component per candidate
+// leader (not 1-thick connected), yet the task is 1-thick connected via the
+// constant subproblem — the subproblem quantifier at work.
+func TestLeaderElectionComponents(t *testing.T) {
+	const n = 3
+	task := tasks.LeaderElection(n)
+	c := task.Problem.OutputComplex(task.Problem.Inputs)
+	if comps := c.ThickComponents(n, 1); len(comps) != n {
+		t.Errorf("election output complex has %d components, want %d", len(comps), n)
+	}
+	delta, ok, err := task.Problem.KThickConnected(1, 100)
+	if err != nil || !ok {
+		t.Fatalf("KThickConnected = %v, %v; want witness", ok, err)
+	}
+	// The witnessing Δ' must be a single constant simplex per input.
+	for _, in := range task.Problem.Inputs {
+		if got := len(delta(in)); got != 1 {
+			t.Errorf("witness Δ'(%s) has %d simplexes, want 1", in, got)
+		}
+	}
+}
+
+// TestHolderElectionUnsolvable: deciding the id of a common 1-holder is
+// consensus-hard; the condition must reject it for every subproblem.
+func TestHolderElectionUnsolvable(t *testing.T) {
+	const n = 3
+	task := tasks.HolderElection(n)
+	_, ok, err := task.Problem.KThickConnected(1, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("holder-election reported 1-thick connected")
+	}
+}

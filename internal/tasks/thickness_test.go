@@ -1,0 +1,44 @@
+package tasks_test
+
+import (
+	"testing"
+
+	"repro/internal/tasks"
+)
+
+// TestMinThickness records the thickness profile of the zoo: solvable
+// tasks sit at k=1, consensus-family tasks need the trivial k=n (empty
+// intersections), and — per Lemma 7.5's contrapositive — a task with
+// MinThickness k is not solvable within k-1 rounds.
+func TestMinThickness(t *testing.T) {
+	const n = 3
+	want := map[string]int{
+		"consensus(n=3)":       n, // two disjoint constants: only k=n connects them
+		"2-set-agreement(n=3)": 1,
+		"identity(n=3)":        1,
+		"constant-0(n=3)":      1,
+		"leader-election(n=3)": 1, // via the constant subproblem
+		"holder-election(n=3)": n,
+		"epsilon-flag(n=3)":    1,
+		"majority(n=3)":        n,
+	}
+	for _, task := range tasks.Zoo(n) {
+		budget := task.SubproblemBudget
+		if budget == 0 {
+			budget = 1_000_000
+		}
+		got, err := task.Problem.MinThickness(budget)
+		if err != nil {
+			t.Errorf("%s: %v", task.Problem.Name, err)
+			continue
+		}
+		if want[task.Problem.Name] != 0 && got != want[task.Problem.Name] {
+			t.Errorf("%s: MinThickness = %d, want %d", task.Problem.Name, got, want[task.Problem.Name])
+		}
+		// Consistency: solvable-1-resiliently iff MinThickness == 1.
+		if (got == 1) != task.Solvable1Resilient {
+			t.Errorf("%s: MinThickness %d inconsistent with solvable=%v",
+				task.Problem.Name, got, task.Solvable1Resilient)
+		}
+	}
+}

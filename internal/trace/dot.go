@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// DOTOptions configures GraphDOT rendering.
+type DOTOptions struct {
+	// MaxNodes truncates the rendering (0 = no limit); truncation adds an
+	// ellipsis node.
+	MaxNodes int
+	// NodeLabel overrides the default label (decision flags) for a state.
+	NodeLabel func(core.State) string
+	// HighlightKeys are state keys to draw with a double border (e.g. a
+	// witness run's states).
+	HighlightKeys map[string]bool
+}
+
+// GraphDOT renders an explored state graph in Graphviz DOT format: one
+// node per state (labeled with its decision/failure flags by default), one
+// edge per layer action. Nodes are emitted in deterministic (key-sorted)
+// order, ranked by depth.
+func GraphDOT(g *core.Graph, opts DOTOptions) string {
+	label := opts.NodeLabel
+	if label == nil {
+		label = FormatState
+	}
+	keys := make([]string, 0, len(g.Nodes))
+	for k := range g.Nodes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if g.DepthOf[keys[i]] != g.DepthOf[keys[j]] {
+			return g.DepthOf[keys[i]] < g.DepthOf[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if opts.MaxNodes > 0 && len(keys) > opts.MaxNodes {
+		keys = keys[:opts.MaxNodes]
+	}
+	kept := make(map[string]int, len(keys))
+	for i, k := range keys {
+		kept[k] = i
+	}
+
+	var b strings.Builder
+	b.WriteString("digraph layers {\n  rankdir=TB;\n  node [shape=box,fontname=\"monospace\"];\n")
+	byDepth := make(map[int][]string)
+	for _, k := range keys {
+		byDepth[g.DepthOf[k]] = append(byDepth[g.DepthOf[k]], k)
+	}
+	var depths []int
+	for d := range byDepth {
+		depths = append(depths, d)
+	}
+	sort.Ints(depths)
+	for _, d := range depths {
+		fmt.Fprintf(&b, "  { rank=same;")
+		for _, k := range byDepth[d] {
+			fmt.Fprintf(&b, " n%d;", kept[k])
+		}
+		b.WriteString(" }\n")
+	}
+	for _, k := range keys {
+		shape := ""
+		if opts.HighlightKeys[k] {
+			shape = ",peripheries=2"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q%s];\n", kept[k], fmt.Sprintf("d%d: %s", g.DepthOf[k], label(g.Nodes[k])), shape)
+	}
+	truncated := false
+	for _, k := range keys {
+		src := kept[k]
+		for _, e := range g.Edges[k] {
+			dst, ok := kept[e.To]
+			if !ok {
+				truncated = true
+				continue
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", src, dst, e.Action)
+		}
+	}
+	if truncated || (opts.MaxNodes > 0 && len(g.Nodes) > opts.MaxNodes) {
+		b.WriteString("  ellipsis [label=\"…\",shape=plaintext];\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,210 @@
+package valence
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// WitnessKind classifies the outcome of certifying a consensus protocol
+// over a layered submodel.
+type WitnessKind int
+
+// Witness kinds. OK means all three consensus requirements held on every
+// S-run of at most the bound's layers.
+const (
+	OK WitnessKind = iota + 1
+	AgreementViolation
+	ValidityViolation
+	UndecidedAtBound
+	DecisionChanged // a write-once decision variable changed value
+)
+
+// String returns a human-readable name.
+func (k WitnessKind) String() string {
+	switch k {
+	case OK:
+		return "ok"
+	case AgreementViolation:
+		return "agreement violation"
+	case ValidityViolation:
+		return "validity violation"
+	case UndecidedAtBound:
+		return "undecided at bound"
+	case DecisionChanged:
+		return "write-once decision changed"
+	default:
+		return fmt.Sprintf("WitnessKind(%d)", int(k))
+	}
+}
+
+// Witness is the outcome of Certify: either OK, or a violation together
+// with the execution exhibiting it.
+type Witness struct {
+	Kind   WitnessKind
+	Exec   *core.Execution // nil when Kind == OK
+	Detail string
+	// Explored is the number of (state, depth) pairs visited.
+	Explored int
+}
+
+// ErrBudget is returned when certification exceeds the node budget.
+var ErrBudget = errors.New("valence: certification exceeded state budget")
+
+// Certify exhaustively checks the consensus requirements over all S-runs of
+// the model up to `bound` layers: agreement (all processes non-failed at a
+// state that have decided agree), validity (every decision is some process's
+// input in that run), decision (every process non-failed at the
+// bound-layer state has decided by then), and write-once stability of
+// decisions across each transition. maxVisits bounds the total number of
+// (state, remaining-depth) visits across all initial states (0 = no bound).
+//
+// The first violation found (scanning initial states in Inits order and
+// successors in enumeration order) is returned with its witness execution.
+func Certify(m core.Model, bound, maxVisits int) (*Witness, error) {
+	return CertifyFrom(m, m.Inits(), bound, maxVisits)
+}
+
+// CertifyFrom is Certify over an explicit set of initial states — e.g. a
+// multivalued Con_0 built with a model's Initial method, or a single
+// suspicious input assignment.
+func CertifyFrom(m core.Model, inits []core.State, bound, maxVisits int) (*Witness, error) {
+	c := &certifier{
+		m:         m,
+		bound:     bound,
+		maxVisits: maxVisits,
+		memo:      make(map[certMemoKey]bool),
+	}
+	for _, init := range inits {
+		inputs := inputMask(init)
+		exec := &core.Execution{Init: init}
+		w, err := c.dfs(init, bound, inputs, exec)
+		if err != nil {
+			return nil, err
+		}
+		if w != nil {
+			w.Explored = c.visits
+			return w, nil
+		}
+	}
+	return &Witness{Kind: OK, Explored: c.visits}, nil
+}
+
+type certMemoKey struct {
+	key    string
+	depth  int
+	inputs uint64
+}
+
+type certifier struct {
+	m         core.Model
+	bound     int
+	maxVisits int
+	visits    int
+	memo      map[certMemoKey]bool // true = subtree certified clean
+}
+
+func (c *certifier) dfs(x core.State, remaining int, inputs uint64, exec *core.Execution) (*Witness, error) {
+	mk := certMemoKey{key: x.Key(), depth: remaining, inputs: inputs}
+	if c.memo[mk] {
+		return nil, nil
+	}
+	c.visits++
+	if c.maxVisits > 0 && c.visits > c.maxVisits {
+		return nil, fmt.Errorf("after %d visits: %w", c.visits, ErrBudget)
+	}
+
+	if w := checkState(x, inputs); w != nil {
+		w.Exec = exec
+		return w, nil
+	}
+	if remaining == 0 {
+		if !core.AllDecided(x) {
+			return &Witness{
+				Kind:   UndecidedAtBound,
+				Exec:   exec,
+				Detail: fmt.Sprintf("a non-failed process is undecided after %d layers", c.bound),
+			}, nil
+		}
+		c.memo[mk] = true
+		return nil, nil
+	}
+	for _, s := range c.m.Successors(x) {
+		if w := checkWriteOnce(x, s.State); w != nil {
+			w.Exec = exec.Extend(s.Action, s.State)
+			w.Detail = fmt.Sprintf("%s (action %s)", w.Detail, s.Action)
+			return w, nil
+		}
+		w, err := c.dfs(s.State, remaining-1, inputs, exec.Extend(s.Action, s.State))
+		if err != nil || w != nil {
+			return w, err
+		}
+	}
+	c.memo[mk] = true
+	return nil, nil
+}
+
+// checkState checks agreement and validity at a single state.
+func checkState(x core.State, inputs uint64) *Witness {
+	seen := -1
+	for i := 0; i < x.N(); i++ {
+		if x.FailedAt(i) {
+			continue
+		}
+		v, ok := x.Decided(i)
+		if !ok {
+			continue
+		}
+		if v >= 0 && v < 63 && inputs&(1<<uint(v)) == 0 {
+			return &Witness{
+				Kind:   ValidityViolation,
+				Detail: fmt.Sprintf("process %d decided %d, which is nobody's input", i, v),
+			}
+		}
+		if seen >= 0 && v != seen {
+			return &Witness{
+				Kind:   AgreementViolation,
+				Detail: fmt.Sprintf("non-failed processes decided both %d and %d", seen, v),
+			}
+		}
+		seen = v
+	}
+	return nil
+}
+
+// checkWriteOnce verifies decisions are stable across a transition.
+func checkWriteOnce(x, y core.State) *Witness {
+	for i := 0; i < x.N(); i++ {
+		v, ok := x.Decided(i)
+		if !ok {
+			continue
+		}
+		w, ok2 := y.Decided(i)
+		if !ok2 || w != v {
+			return &Witness{
+				Kind:   DecisionChanged,
+				Detail: fmt.Sprintf("process %d had decided %d but successor reports (%d,%v)", i, v, w, ok2),
+			}
+		}
+	}
+	return nil
+}
+
+// inputMask returns the set of input values of a run's initial state as a
+// bitmask, or all-ones if the state does not expose inputs (disabling the
+// validity check).
+func inputMask(init core.State) uint64 {
+	in, ok := init.(core.Input)
+	if !ok {
+		return ^uint64(0)
+	}
+	var mask uint64
+	for i := 0; i < init.N(); i++ {
+		v := in.InputOf(i)
+		if v >= 0 && v < 63 {
+			mask |= 1 << uint(v)
+		}
+	}
+	return mask
+}

@@ -1,0 +1,113 @@
+package valence
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ErrNoBivalentInit is returned when no initial state is bivalent within
+// the horizon. For a consensus protocol satisfying decision and validity
+// over a model displaying an arbitrary crash failure, Lemma 3.6 guarantees a
+// bivalent initial state; failing to find one usually means the horizon is
+// too small to observe decisions, or the protocol violates validity.
+var ErrNoBivalentInit = errors.New("valence: no bivalent initial state within horizon")
+
+// HorizonFunc gives the valence lookahead used for states at a given chain
+// depth. ConstHorizon and DecreasingHorizon cover the common cases.
+type HorizonFunc func(depth int) int
+
+// ConstHorizon returns the constant lookahead h at every depth.
+func ConstHorizon(h int) HorizonFunc { return func(int) int { return h } }
+
+// DecreasingHorizon returns bound-depth (floored at min): exact valence for
+// protocols whose decisions all occur within `bound` layers of the start.
+func DecreasingHorizon(bound, min int) HorizonFunc {
+	return func(depth int) int {
+		h := bound - depth
+		if h < min {
+			return min
+		}
+		return h
+	}
+}
+
+// Chain is the result of the bivalent-chain construction of Theorem 4.2 /
+// Lemma 6.1: an execution all of whose states are bivalent (within the
+// per-depth horizons).
+type Chain struct {
+	// Exec is the constructed execution; its states are bivalent up to
+	// Reached layers.
+	Exec *core.Execution
+	// Reached is the number of layers successfully extended.
+	Reached int
+	// Stuck is non-nil if the chain could not be extended to the target:
+	// it reports the layer whose successor set contained no bivalent state.
+	Stuck *LayerReport
+}
+
+// BivalentChain constructs an execution of `target` layers from a bivalent
+// initial state, choosing a bivalent successor at every step (Lemma 4.1).
+// Valences at depth d are computed with lookahead horizon(d).
+//
+// If at some depth no successor is bivalent, the construction stops and the
+// returned Chain carries the offending layer's report; per the paper this
+// happens exactly when S(x) fails to be valence connected (or when the
+// horizon is too small), so the report is the interesting diagnostic.
+func BivalentChain(m core.Model, o *Oracle, horizon HorizonFunc, target int) (*Chain, error) {
+	var x core.State
+	for _, init := range m.Inits() {
+		if o.Bivalent(init, horizon(0)) {
+			x = init
+			break
+		}
+	}
+	if x == nil {
+		return nil, ErrNoBivalentInit
+	}
+	exec := &core.Execution{Init: x}
+	for d := 0; d < target; d++ {
+		h := horizon(d + 1)
+		var found bool
+		for _, s := range m.Successors(x) {
+			if o.Bivalent(s.State, h) {
+				exec = exec.Extend(s.Action, s.State)
+				x = s.State
+				found = true
+				break
+			}
+		}
+		if !found {
+			return &Chain{
+				Exec:    exec,
+				Reached: d,
+				Stuck:   AnalyzeLayer(m, o, x, h),
+			}, nil
+		}
+	}
+	return &Chain{Exec: exec, Reached: target}, nil
+}
+
+// CheckBivalentUndecided verifies the conclusion of Lemma 3.1 at state x:
+// if x is bivalent (within the horizon) then at least n-t processes that are
+// non-failed at x have not decided. It returns an error describing the
+// violation, or nil.
+func CheckBivalentUndecided(o *Oracle, x core.State, horizon, t int) error {
+	if !o.Bivalent(x, horizon) {
+		return nil
+	}
+	undecided := 0
+	for i := 0; i < x.N(); i++ {
+		if x.FailedAt(i) {
+			continue
+		}
+		if _, ok := x.Decided(i); !ok {
+			undecided++
+		}
+	}
+	if undecided < x.N()-t {
+		return fmt.Errorf("valence: bivalent state has only %d undecided non-failed processes, want >= %d", undecided, x.N()-t)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package valence
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// DecisionDepth reports the decision-time landscape of a (correct)
+// protocol over a layered submodel: across all runs of at most `bound`
+// layers from the given initial states, the earliest and latest layer at
+// which every non-failed process has decided, and a histogram of
+// first-all-decided layers over all run prefixes.
+type DecisionDepth struct {
+	// Min and Max are the extreme first-all-decided layers over all runs.
+	Min, Max int
+	// Histogram[d] counts the distinct (state-path) runs whose first
+	// all-decided layer is d. Runs that never fully decide within the
+	// bound are counted in Undecided.
+	Histogram []int
+	// Undecided counts runs still undecided at the bound.
+	Undecided int
+	// Runs is the total number of runs examined.
+	Runs int
+}
+
+// MeasureDecisionDepth walks every run (action path) of length `bound`
+// from each initial state and records when it first became fully decided.
+// The path count grows as |S(x)|^bound; use small bounds. maxRuns caps the
+// walk (0 = unbounded).
+func MeasureDecisionDepth(m core.Model, inits []core.State, bound, maxRuns int) (*DecisionDepth, error) {
+	d := &DecisionDepth{
+		Min:       bound + 1,
+		Histogram: make([]int, bound+1),
+	}
+	var walk func(x core.State, depth int, decidedAt int) error
+	walk = func(x core.State, depth, decidedAt int) error {
+		if decidedAt < 0 && core.AllDecided(x) {
+			decidedAt = depth
+		}
+		if depth == bound {
+			d.Runs++
+			if maxRuns > 0 && d.Runs > maxRuns {
+				return fmt.Errorf("after %d runs: %w", d.Runs, ErrBudget)
+			}
+			if decidedAt < 0 {
+				d.Undecided++
+				return nil
+			}
+			d.Histogram[decidedAt]++
+			if decidedAt < d.Min {
+				d.Min = decidedAt
+			}
+			if decidedAt > d.Max {
+				d.Max = decidedAt
+			}
+			return nil
+		}
+		for _, s := range m.Successors(x) {
+			if err := walk(s.State, depth+1, decidedAt); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, init := range inits {
+		if err := walk(init, 0, -1); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

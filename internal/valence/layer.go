@@ -1,0 +1,127 @@
+package valence
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// LayerReport is the result of analyzing one layer S(x): the distinct
+// successor states of x, their similarity structure, and their valence
+// structure within a horizon.
+type LayerReport struct {
+	// States are the distinct successor states, in first-occurrence order
+	// of the successor enumeration.
+	States []core.State
+	// Actions[i] lists the action labels that produced States[i].
+	Actions [][]string
+
+	// SimilarityConnected reports whether (States, ~s) is connected.
+	SimilarityConnected bool
+	// SimilarityComponents is the number of connected components of
+	// (States, ~s).
+	SimilarityComponents int
+	// SDiameter is the diameter of (States, ~s) (max over components if
+	// disconnected).
+	SDiameter int
+
+	// Valences[i] is the horizon-bounded valence mask of States[i].
+	Valences []uint8
+	// ValenceConnected reports whether (States, ~v) is connected: either
+	// some state is bivalent, or all states are univalent with the same
+	// value. Null-valent states (no reachable decision within the horizon)
+	// disconnect the valence graph unless they are the only state.
+	ValenceConnected bool
+	// BivalentIdx are the indices of bivalent states.
+	BivalentIdx []int
+	// NullValentIdx are the indices of null-valent states (horizon too
+	// small to observe any decision).
+	NullValentIdx []int
+}
+
+// Layer collects the distinct states of S(x) with their action labels.
+func Layer(succ core.Successor, x core.State) (states []core.State, actions [][]string) {
+	index := make(map[string]int)
+	for _, s := range succ.Successors(x) {
+		k := s.State.Key()
+		i, seen := index[k]
+		if !seen {
+			i = len(states)
+			index[k] = i
+			states = append(states, s.State)
+			actions = append(actions, nil)
+		}
+		actions[i] = append(actions[i], s.Action)
+	}
+	return states, actions
+}
+
+// SimilarityGraph builds the graph (states, ~s).
+func SimilarityGraph(states []core.State) *graph.Undirected {
+	g := graph.NewUndirected(len(states))
+	for i := 0; i < len(states); i++ {
+		for j := i + 1; j < len(states); j++ {
+			if _, ok := core.Similar(states[i], states[j]); ok {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// ValenceConnected reports whether a set of valence masks forms a connected
+// (X, ~v) graph. Per the paper: X is valence connected exactly if either all
+// states are v-univalent for one common v, or some state is bivalent (and no
+// state is null-valent, which can only arise here from a too-small horizon).
+func ValenceConnected(masks []uint8) bool {
+	if len(masks) == 0 {
+		return true
+	}
+	var union uint8
+	bivalent := false
+	for _, m := range masks {
+		if m == 0 {
+			// Null-valent: no decision reachable within the horizon. The
+			// state shares no valence with anything (itself included), so we
+			// report the set as not valence connected to flag the horizon
+			// problem.
+			return false
+		}
+		if m == V0|V1 {
+			bivalent = true
+		}
+		union |= m
+	}
+	return bivalent || union == V0 || union == V1
+}
+
+// AnalyzeLayer computes the full layer report for S(x) with the given
+// valence horizon applied to the successor states.
+func AnalyzeLayer(succ core.Successor, o *Oracle, x core.State, horizon int) *LayerReport {
+	states, actions := Layer(succ, x)
+	r := &LayerReport{States: states, Actions: actions}
+
+	sg := SimilarityGraph(states)
+	r.SimilarityConnected = sg.Connected()
+	r.SimilarityComponents = len(sg.Components())
+	r.SDiameter, _ = sg.Diameter()
+
+	r.Valences = make([]uint8, len(states))
+	for i, s := range states {
+		r.Valences[i] = o.Valences(s, horizon)
+		switch r.Valences[i] {
+		case V0 | V1:
+			r.BivalentIdx = append(r.BivalentIdx, i)
+		case 0:
+			r.NullValentIdx = append(r.NullValentIdx, i)
+		}
+	}
+	r.ValenceConnected = ValenceConnected(r.Valences)
+	return r
+}
+
+// SetSDiameter returns the s-diameter of an arbitrary set of states (the
+// diameter of its similarity graph) and whether the set is similarity
+// connected. Used for the Lemma 7.6 diameter-recurrence experiments.
+func SetSDiameter(states []core.State) (diameter int, connected bool) {
+	return SimilarityGraph(states).Diameter()
+}

@@ -1,0 +1,23 @@
+package valence
+
+import (
+	"repro/internal/core"
+)
+
+// NaiveValences computes the horizon-bounded valence mask of x without
+// memoization, by plain DFS. It exists as the ablation baseline for the
+// Oracle's memo table (see BenchmarkAblationMemoization): the two must
+// agree everywhere, and the memoized oracle should dominate as soon as
+// layers share successor states.
+func NaiveValences(succ core.Successor, x core.State, horizon int) uint8 {
+	mask := uint8(core.DecidedValues(x) & 0b11)
+	if mask != V0|V1 && horizon > 0 {
+		for _, s := range succ.Successors(x) {
+			mask |= NaiveValences(succ, s.State, horizon-1)
+			if mask == V0|V1 {
+				break
+			}
+		}
+	}
+	return mask
+}

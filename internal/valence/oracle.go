@@ -1,0 +1,100 @@
+// Package valence implements the paper's valence machinery: horizon-bounded
+// valence of states (Section 3), connectivity analysis of layer sets
+// (Lemmas 3.3–3.5, 5.1, 5.3), the bivalent-chain constructions behind
+// Theorem 4.2 and Lemmas 6.1/7.1, and the consensus certifier that either
+// certifies a protocol over a layered submodel or produces a concrete
+// witness run (agreement violation, validity violation, undecided run, or
+// broken write-once decision).
+//
+// # Horizon-bounded valence
+//
+// The paper defines x to be v-valent if some execution extending x has a
+// nonfaulty process deciding v. For a protocol that decides within B layers
+// of the initial state in every run, all decision events occur within the
+// first B layers, so the valence of a state at depth d is determined by its
+// extensions of length B-d. The Oracle computes exactly this bounded
+// valence; callers pick horizons per depth. For impossibility arguments the
+// bounded notion is the right one even without a proof of termination: a
+// state with both decisions reachable in bounded futures is bivalent
+// outright, and a bivalent state reached at the claimed decision bound is a
+// witness that decision has not occurred (Lemmas 3.1/3.2).
+package valence
+
+import (
+	"repro/internal/core"
+)
+
+// V0 and V1 are the bits of a valence mask.
+const (
+	V0 uint8 = 1 << 0 // 0-valent
+	V1 uint8 = 1 << 1 // 1-valent
+)
+
+// Oracle computes horizon-bounded binary valence over a successor function,
+// with memoization on (state key, horizon).
+type Oracle struct {
+	succ core.Successor
+	memo map[memoKey]uint8
+}
+
+type memoKey struct {
+	key     string
+	horizon int
+}
+
+// NewOracle returns an oracle over succ.
+func NewOracle(succ core.Successor) *Oracle {
+	return &Oracle{succ: succ, memo: make(map[memoKey]uint8)}
+}
+
+// Valences returns the valence mask of x within the given horizon: bit V0
+// (V1) is set if some execution of at most horizon layers extending x
+// reaches a state where a process that is non-failed there has decided 0
+// (1).
+func (o *Oracle) Valences(x core.State, horizon int) uint8 {
+	k := memoKey{key: x.Key(), horizon: horizon}
+	if v, ok := o.memo[k]; ok {
+		return v
+	}
+	mask := uint8(core.DecidedValues(x) & 0b11)
+	if mask != V0|V1 && horizon > 0 {
+		for _, s := range o.succ.Successors(x) {
+			mask |= o.Valences(s.State, horizon-1)
+			if mask == V0|V1 {
+				break
+			}
+		}
+	}
+	o.memo[k] = mask
+	return mask
+}
+
+// Bivalent reports whether x is bivalent within the horizon.
+func (o *Oracle) Bivalent(x core.State, horizon int) bool {
+	return o.Valences(x, horizon) == V0|V1
+}
+
+// Univalent reports whether x is v-univalent within the horizon: v-valent
+// and not (1-v)-valent. Note that with a too-small horizon a state can be
+// null-valent (no decisions reachable); Univalent is then false for both
+// values.
+func (o *Oracle) Univalent(x core.State, horizon int) (v int, ok bool) {
+	switch o.Valences(x, horizon) {
+	case V0:
+		return 0, true
+	case V1:
+		return 1, true
+	default:
+		return 0, false
+	}
+}
+
+// MemoLen reports the number of memoized (state, horizon) entries; used by
+// benchmarks to report search effort.
+func (o *Oracle) MemoLen() int { return len(o.memo) }
+
+// SharedValence reports whether x ~v y within the horizon (Definition 3.1):
+// some value w has both states w-valent.
+func (o *Oracle) SharedValence(x, y core.State, horizon int) bool {
+	return o.Valences(x, horizon)&o.Valences(y, horizon) != 0
+}

@@ -1,0 +1,93 @@
+package valence
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// CertifyParallel runs Certify's per-initial-state searches concurrently,
+// one worker per CPU-ish slot, and returns the same verdict Certify would:
+// the witness of the earliest (in Inits order) violating initial state, or
+// OK. Each worker owns a private memo table (roots share little of their
+// early state space; the duplication is bounded by the per-root budget).
+// maxVisitsPerRoot caps each root's search independently (0 = unbounded).
+func CertifyParallel(m core.Model, bound, maxVisitsPerRoot, workers int) (*Witness, error) {
+	inits := m.Inits()
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(inits) {
+		workers = len(inits)
+	}
+
+	type result struct {
+		w   *Witness
+		err error
+	}
+	results := make([]result, len(inits))
+	var (
+		wg   sync.WaitGroup
+		next int
+		mu   sync.Mutex
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(inits) {
+					return
+				}
+				results[i] = certifyOne(m, inits[i], bound, maxVisitsPerRoot)
+			}
+		}()
+	}
+	wg.Wait()
+
+	totalVisits := 0
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		totalVisits += results[i].w.Explored
+	}
+	for i := range results {
+		if results[i].w.Kind != OK {
+			w := results[i].w
+			w.Explored = totalVisits
+			return w, nil
+		}
+	}
+	return &Witness{Kind: OK, Explored: totalVisits}, nil
+}
+
+// certifyOne certifies a single root with a private certifier.
+func certifyOne(m core.Model, init core.State, bound, maxVisits int) (out struct {
+	w   *Witness
+	err error
+}) {
+	c := &certifier{
+		m:         m,
+		bound:     bound,
+		maxVisits: maxVisits,
+		memo:      make(map[certMemoKey]bool),
+	}
+	inputs := inputMask(init)
+	exec := &core.Execution{Init: init}
+	w, err := c.dfs(init, bound, inputs, exec)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	if w == nil {
+		w = &Witness{Kind: OK}
+	}
+	w.Explored = c.visits
+	out.w = w
+	return out
+}

@@ -1,0 +1,70 @@
+package valence_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mobile"
+	"repro/internal/protocols"
+	"repro/internal/syncmp"
+	"repro/internal/valence"
+)
+
+// TestCertifyParallelMatchesSequential: verdict and witness must match the
+// sequential certifier for every worker count.
+func TestCertifyParallelMatchesSequential(t *testing.T) {
+	mOK := syncmp.NewSt(protocols.FloodSet{Rounds: 2}, 3, 1)
+	wOK, err := valence.Certify(mOK, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mBad := mobile.New(protocols.FloodSet{Rounds: 2}, 3)
+	wBad, err := valence.Certify(mBad, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 4, 16} {
+		pOK, err := valence.CertifyParallel(mOK, 2, 0, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pOK.Kind != wOK.Kind {
+			t.Errorf("workers=%d ok-model: %v != %v", workers, pOK.Kind, wOK.Kind)
+		}
+		pBad, err := valence.CertifyParallel(mBad, 2, 0, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pBad.Kind != wBad.Kind {
+			t.Errorf("workers=%d bad-model: %v != %v", workers, pBad.Kind, wBad.Kind)
+		}
+		// Deterministic witness: the parallel version must report the same
+		// violating root as the sequential one (earliest in Inits order).
+		if pBad.Exec.Init.Key() != wBad.Exec.Init.Key() {
+			t.Errorf("workers=%d: witness root differs", workers)
+		}
+	}
+}
+
+// TestCertifyParallelBudget: the per-root budget propagates as an error.
+func TestCertifyParallelBudget(t *testing.T) {
+	m := syncmp.NewSt(protocols.FloodSet{Rounds: 3}, 4, 2)
+	if _, err := valence.CertifyParallel(m, 3, 5, 4); err == nil {
+		t.Error("want budget error")
+	}
+}
+
+func BenchmarkCertifyParallel(b *testing.B) {
+	m := syncmp.NewSt(protocols.FloodSet{Rounds: 3}, 4, 2)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w, err := valence.CertifyParallel(m, 3, 0, workers)
+				if err != nil || w.Kind != valence.OK {
+					b.Fatal(err, w.Kind)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,232 @@
+// Package layers is the public API of the layered-analysis framework, a
+// reproduction of Moses & Rajsbaum, "The Unified Structure of Consensus: a
+// Layered Analysis Approach" (PODC 1998).
+//
+// The framework implements the paper's four models — the t-resilient
+// synchronous message-passing model, the single-mobile-failure model M^mf,
+// asynchronous read/write shared memory M^rw, and asynchronous message
+// passing — each equipped with the paper's layerings (S1, S^t, the
+// synchronic layering S^rw, and the permutation layering S^per), and the
+// valence/connectivity machinery that drives the paper's impossibility
+// proofs and lower bounds. On top of it sit executable analyses:
+//
+//   - Certify exhaustively checks a consensus protocol over a layered
+//     submodel and returns OK or a concrete witness run;
+//   - BivalentChain constructs the Theorem 4.2 / Lemma 6.1 adversary run;
+//   - AnalyzeLayer reports the similarity and valence structure of a layer
+//     S(x);
+//   - the simplex/task API evaluates the Section 7 1-thick-connectivity
+//     characterization of 1-resilient solvability;
+//   - the sim API executes runs under seeded, scripted, or adversarial
+//     schedulers, and runs synchronous protocols as concurrent goroutine
+//     clusters.
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the paper-claim vs. measured
+// record.
+package layers
+
+import (
+	"repro/internal/asyncmp"
+	"repro/internal/core"
+	"repro/internal/iis"
+	"repro/internal/mobile"
+	"repro/internal/proto"
+	"repro/internal/shmem"
+	"repro/internal/simplex"
+	"repro/internal/snapshot"
+	"repro/internal/syncmp"
+	"repro/internal/valence"
+)
+
+// Core vocabulary re-exports.
+type (
+	// State is a global state: a local state per process plus the
+	// environment, observed through canonical encodings.
+	State = core.State
+	// Succ is a labeled successor of a state.
+	Succ = core.Succ
+	// Successor is the paper's successor function S : G -> 2^G \ {∅}.
+	Successor = core.Successor
+	// Model couples a successor function with its initial states.
+	Model = core.Model
+	// Execution is a finite execution: an initial state plus labeled steps.
+	Execution = core.Execution
+	// Step is one transition of an execution.
+	Step = core.Step
+	// Graph is an explored reachable state graph.
+	Graph = core.Graph
+)
+
+// Protocol interfaces re-exports.
+type (
+	// SyncProtocol is a protocol for the round-based synchronous models.
+	SyncProtocol = proto.SyncProtocol
+	// SMProtocol is a protocol for the shared-memory model M^rw.
+	SMProtocol = proto.SMProtocol
+	// MPProtocol is a protocol for asynchronous message passing.
+	MPProtocol = proto.MPProtocol
+)
+
+// Analysis vocabulary re-exports.
+type (
+	// Oracle computes horizon-bounded valence.
+	Oracle = valence.Oracle
+	// LayerReport is the connectivity analysis of one layer S(x).
+	LayerReport = valence.LayerReport
+	// Chain is a bivalent chain construction result.
+	Chain = valence.Chain
+	// Witness is the outcome of certifying a protocol.
+	Witness = valence.Witness
+	// WitnessKind classifies certification outcomes.
+	WitnessKind = valence.WitnessKind
+	// HorizonFunc gives the valence lookahead per chain depth.
+	HorizonFunc = valence.HorizonFunc
+)
+
+// Witness kinds.
+const (
+	OK                 = valence.OK
+	AgreementViolation = valence.AgreementViolation
+	ValidityViolation  = valence.ValidityViolation
+	UndecidedAtBound   = valence.UndecidedAtBound
+	DecisionChanged    = valence.DecisionChanged
+)
+
+// Undecided is the sentinel decision value.
+const Undecided = core.Undecided
+
+// MobileS1 returns the single-mobile-failure model M^mf with the S1
+// layering (Section 5) for protocol p on n processes.
+func MobileS1(p SyncProtocol, n int) *mobile.Model { return mobile.New(p, n) }
+
+// SyncS1 returns the t-resilient synchronous model with the S1 layering
+// (failures recorded and silenced, no budget cap).
+func SyncS1(p SyncProtocol, n int) *syncmp.Model { return syncmp.NewS1(p, n) }
+
+// SyncSt returns the t-resilient synchronous model with the S^t layering
+// of Section 6.
+func SyncSt(p SyncProtocol, n, t int) *syncmp.Model { return syncmp.NewSt(p, n, t) }
+
+// SharedMemory returns M^rw with the synchronic layering S^rw (Section
+// 5.1).
+func SharedMemory(p SMProtocol, n int) *shmem.Model { return shmem.New(p, n) }
+
+// AsyncMessagePassing returns the asynchronous message-passing model with
+// the permutation layering S^per (Section 5.1).
+func AsyncMessagePassing(p MPProtocol, n int) *asyncmp.Model { return asyncmp.New(p, n) }
+
+// AsyncSynchronic returns the synchronic layering for asynchronous message
+// passing — the paper's remark after Corollary 5.4: the analogous
+// nearly-synchronous submodel in which messages are delayed, never lost,
+// and consensus is still impossible.
+func AsyncSynchronic(p MPProtocol, n int) *asyncmp.Synchronic { return asyncmp.NewSynchronic(p, n) }
+
+// IteratedImmediateSnapshot returns the wait-free iterated immediate
+// snapshot model (one of the extension models of Corollary 7.3); each layer
+// is an ordered partition of the processes.
+func IteratedImmediateSnapshot(p SMProtocol, n int) *iis.Model { return iis.New(p, n) }
+
+// SnapshotMemory returns the atomic-snapshot shared-memory model under the
+// permutation layering (the other extension model of Corollary 7.3).
+func SnapshotMemory(p SMProtocol, n int) *snapshot.Model { return snapshot.New(p, n) }
+
+// SyncStMulti returns the t-resilient synchronous model whose layers allow
+// up to maxPerRound simultaneous new failures (the Section 6 wasted-faults
+// analysis).
+func SyncStMulti(p SyncProtocol, n, t, maxPerRound int) *syncmp.MultiModel {
+	return syncmp.NewStMulti(p, n, t, maxPerRound)
+}
+
+// SyncStGeneral is SyncSt under general-omission failures: failed
+// processes also stop receiving. An ablation of the paper's
+// sending-omission assumption.
+func SyncStGeneral(p SyncProtocol, n, t int) *syncmp.Model { return syncmp.NewStGeneral(p, n, t) }
+
+// MobileFull returns the unrestricted M^mf (arbitrary omission sets, not
+// only the S1 prefixes); the S1 submodel's layers are subsets of its
+// layers.
+func MobileFull(p SyncProtocol, n int) *mobile.FullModel { return mobile.NewFull(p, n) }
+
+// NewOracle returns a horizon-bounded valence oracle over a successor
+// function.
+func NewOracle(s Successor) *Oracle { return valence.NewOracle(s) }
+
+// Certify exhaustively checks the consensus requirements (agreement,
+// validity, decision-by-bound, write-once decisions) over all runs of the
+// layered submodel up to `bound` layers. maxVisits caps the search (0 =
+// unbounded).
+func Certify(m Model, bound, maxVisits int) (*Witness, error) {
+	return valence.Certify(m, bound, maxVisits)
+}
+
+// AnalyzeLayer reports the similarity and valence structure of S(x), with
+// valences computed to the given lookahead horizon.
+func AnalyzeLayer(m Model, o *Oracle, x State, horizon int) *LayerReport {
+	return valence.AnalyzeLayer(m, o, x, horizon)
+}
+
+// BivalentChain constructs a bivalent execution of `target` layers (the
+// Theorem 4.2 / Lemma 6.1 adversary), choosing a bivalent successor at
+// every step.
+func BivalentChain(m Model, o *Oracle, horizon HorizonFunc, target int) (*Chain, error) {
+	return valence.BivalentChain(m, o, horizon, target)
+}
+
+// ConstHorizon returns the constant lookahead h at every chain depth.
+func ConstHorizon(h int) HorizonFunc { return valence.ConstHorizon(h) }
+
+// DecreasingHorizon returns bound-depth (floored at min), the exact
+// horizon for protocols deciding within `bound` layers.
+func DecreasingHorizon(bound, min int) HorizonFunc { return valence.DecreasingHorizon(bound, min) }
+
+// Explore builds the reachable state graph of a model to the given depth;
+// maxNodes caps the node count (0 = unbounded).
+func Explore(m Model, depth, maxNodes int) (*Graph, error) {
+	return core.Explore(m, depth, maxNodes)
+}
+
+// Similar reports the paper's similarity relation x ~s y and its
+// witnessing process.
+func Similar(x, y State) (j int, ok bool) { return core.Similar(x, y) }
+
+// AgreeModulo reports whether two states agree modulo process j.
+func AgreeModulo(x, y State, j int) bool { return core.AgreeModulo(x, y, j) }
+
+// Topology vocabulary re-exports (Section 7).
+type (
+	// Vertex is a ⟨process, value⟩ pair.
+	Vertex = simplex.Vertex
+	// Simplex is a set of vertices with distinct process ids.
+	Simplex = simplex.Simplex
+	// Complex is a containment-closed set of simplexes.
+	Complex = simplex.Complex
+	// Problem is a decision problem ⟨I, O, Δ⟩.
+	Problem = simplex.Problem
+	// DeltaFunc maps input simplexes to allowed output simplexes.
+	DeltaFunc = simplex.DeltaFunc
+)
+
+// NewComplex returns a complex seeded with the given simplexes (and their
+// faces).
+func NewComplex(simplexes ...Simplex) *Complex { return simplex.NewComplex(simplexes...) }
+
+// FromValues builds the n-vertex simplex assigning values[i] to process i.
+func FromValues(values []int) Simplex { return simplex.FromValues(values) }
+
+// ProtocolViolation describes one conformance problem found by the
+// protocol validators.
+type ProtocolViolation = proto.Violation
+
+// ValidateSyncProtocol checks a synchronous protocol's contract
+// (determinism, send-vector length, write-once decisions) over `rounds`
+// failure-free rounds on every binary input for n processes. Run it on
+// your protocol before handing it to the analysis engine.
+func ValidateSyncProtocol(p SyncProtocol, n, rounds int) []ProtocolViolation {
+	return proto.ValidateSync(p, n, rounds)
+}
+
+// ValidateSMProtocol is ValidateSyncProtocol's shared-memory analogue.
+func ValidateSMProtocol(p SMProtocol, n, phases int) []ProtocolViolation {
+	return proto.ValidateSM(p, n, phases)
+}

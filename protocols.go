@@ -1,0 +1,38 @@
+package layers
+
+import (
+	"repro/internal/protocols"
+)
+
+// Concrete protocol re-exports: the correct and deliberately-flawed
+// candidates the analyses are instantiated with.
+type (
+	// FloodSet is the classical synchronous flooding consensus protocol;
+	// with Rounds = t+1 it is correct in the t-resilient synchronous
+	// model, with Rounds = t it is refuted (Corollary 6.3).
+	FloodSet = protocols.FloodSet
+	// FullInfo is the synchronous full-information protocol (never
+	// decides; the strongest instance for structural checks).
+	FullInfo = protocols.FullInfo
+	// DecideRule adds a decision rule to a non-deciding protocol.
+	DecideRule = protocols.DecideRule
+	// SMVote is the shared-memory flooding heuristic (refuted under the
+	// synchronic layering, Corollary 5.4).
+	SMVote = protocols.SMVote
+	// SMFullInfo is the shared-memory full-information protocol.
+	SMFullInfo = protocols.SMFullInfo
+	// MPFlood is the asynchronous message-passing flooding heuristic
+	// (refuted under the permutation layering).
+	MPFlood = protocols.MPFlood
+	// MPFullInfo is the message-passing full-information protocol.
+	MPFullInfo = protocols.MPFullInfo
+	// EIG is exponential-information-gathering consensus (provenance
+	// trees); correct at t+1 rounds, refuted at t.
+	EIG = protocols.EIG
+	// EarlyFloodSet is FloodSet with heard-set-stability early stopping.
+	EarlyFloodSet = protocols.EarlyFloodSet
+	// ConstantDecider deliberately violates validity (certifier fodder).
+	ConstantDecider = protocols.ConstantDecider
+	// FlickerDecider deliberately violates write-once decisions.
+	FlickerDecider = protocols.FlickerDecider
+)
