@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test tier1 race vet bench clean
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# tier1 is the gate every change must keep green: full build, vet, the
+# complete test suite (including the golden experiment outputs in the root
+# package), and the race detector over the internal packages that use
+# concurrency (parallel exploration, parallel certification, shared
+# successor caches).
+tier1: build vet test race
+
+# bench regenerates BENCH_1.json from the E1–E11 experiment benchmarks and
+# the certifier benchmarks.
+bench:
+	$(GO) run ./cmd/bench -out BENCH_1.json
+
+clean:
+	$(GO) clean ./...

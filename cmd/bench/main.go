@@ -1,0 +1,176 @@
+// Command bench runs the repository's experiment benchmarks (E1–E11 in the
+// root package, plus the certifier benchmarks in internal/valence) through
+// `go test -bench` and distills the results into a machine-readable JSON
+// file — ns/op, B/op, allocs/op, and, for benchmarks that report a "states"
+// metric, the derived states/sec throughput.
+//
+// Usage:
+//
+//	bench                       # writes BENCH_1.json in the cwd
+//	bench -out results.json -benchtime 2x
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// States is the benchmark's reported search-effort metric (states
+	// explored per op), when it reports one.
+	States float64 `json:"states,omitempty"`
+	// StatesPerSec = States / (NsPerOp / 1e9).
+	StatesPerSec float64 `json:"states_per_sec,omitempty"`
+	// Extra holds any other custom metrics (unit -> value).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchtime  string   `json:"benchtime"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		out       = fs.String("out", "BENCH_1.json", "output JSON path")
+		benchtime = fs.String("benchtime", "1s", "go test -benchtime value")
+		verbose   = fs.Bool("v", false, "echo raw go test output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	suites := []struct {
+		pkg     string
+		pattern string
+	}{
+		{"repro", "BenchmarkE"},
+		{"repro/internal/valence", "BenchmarkCertify"},
+	}
+	report := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime:  *benchtime,
+	}
+	for _, s := range suites {
+		cmd := exec.Command("go", "test", "-run", "^$",
+			"-bench", s.pattern, "-benchmem", "-benchtime", *benchtime, s.pkg)
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("%s: %w", s.pkg, err)
+		}
+		if *verbose {
+			os.Stderr.Write(buf.Bytes())
+		}
+		results, err := parseBench(&buf, s.pkg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.pkg, err)
+		}
+		report.Benchmarks = append(report.Benchmarks, results...)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: %d benchmarks -> %s\n", len(report.Benchmarks), *out)
+	return nil
+}
+
+// parseBench extracts Result rows from `go test -bench` output. Benchmark
+// lines look like:
+//
+//	BenchmarkE1_InitialConnectivity/n=5-8  142  8234567 ns/op  12 B/op  3 allocs/op  40 states
+func parseBench(r *bytes.Buffer, pkg string) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{
+			// Strip the trailing -GOMAXPROCS suffix from the name.
+			Name:       trimProcSuffix(fields[0]),
+			Package:    pkg,
+			Iterations: iters,
+		}
+		// The rest of the line is (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			case "states":
+				res.States = v
+			default:
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[fields[i+1]] = v
+			}
+		}
+		if res.States > 0 && res.NsPerOp > 0 {
+			res.StatesPerSec = res.States / (res.NsPerOp / 1e9)
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// trimProcSuffix removes the "-N" GOMAXPROCS suffix go test appends to
+// benchmark names.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -50,7 +51,10 @@ func run(args []string) error {
 	}
 	g, err := core.Explore(m, *depth, 2_000_000)
 	if err != nil {
-		return err
+		if !errors.Is(err, core.ErrNodeBudget) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "layercheck: %v; analyzing the partial graph\n", err)
 	}
 	o := valence.NewOracle(m)
 

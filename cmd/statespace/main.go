@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -46,7 +47,10 @@ func run(args []string, out *os.File) error {
 	}
 	g, err := core.Explore(m, *depth, 1_000_000)
 	if err != nil {
-		return err
+		if !errors.Is(err, core.ErrNodeBudget) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "statespace: %v; rendering the partial graph\n", err)
 	}
 	fmt.Fprintf(os.Stderr, "statespace: %s, %d states to depth %d\n", m.Name(), g.Len(), *depth)
 	_, err = fmt.Fprint(out, trace.GraphDOT(g, trace.DOTOptions{MaxNodes: *max}))

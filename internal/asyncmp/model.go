@@ -10,8 +10,11 @@ import (
 )
 
 // Model is the asynchronous message-passing model with the permutation
-// layering S^per. It implements core.Model.
+// layering S^per. It implements core.Model. Successor enumeration is
+// memoized in an embedded per-model cache shared by every analysis pass
+// over the same model value.
 type Model struct {
+	*core.SuccessorCache
 	p    proto.MPProtocol
 	n    int
 	name string
@@ -21,7 +24,9 @@ var _ core.Model = (*Model)(nil)
 
 // New returns the model for protocol p on n processes.
 func New(p proto.MPProtocol, n int) *Model {
-	return &Model{p: p, n: n, name: fmt.Sprintf("asyncmp/Sper(n=%d,%s)", n, p.Name())}
+	m := &Model{p: p, n: n, name: fmt.Sprintf("asyncmp/Sper(n=%d,%s)", n, p.Name())}
+	m.SuccessorCache = core.NewSuccessorCache(core.SuccessorFunc(m.successors))
+	return m
 }
 
 // Name implements core.Model.
@@ -121,11 +126,12 @@ func (m *Model) WithPair(x *State, order []int, k int) *State {
 	return w.freeze(m.p, x.inputs)
 }
 
-// Successors implements core.Model: one successor per action of the three
-// types. Full permutations are labeled "[0,1,2]", drop-one actions omit one
-// process ("[0,2]"), and concurrent-pair actions mark the block
-// ("[0,{1,2}]"); pairs are emitted once, with the block in ascending order.
-func (m *Model) Successors(x core.State) []core.Succ {
+// successors enumerates one successor per action of the three types; the
+// embedded cache serves Successors. Full permutations are labeled
+// "[0,1,2]", drop-one actions omit one process ("[0,2]"), and
+// concurrent-pair actions mark the block ("[0,{1,2}]"); pairs are emitted
+// once, with the block in ascending order.
+func (m *Model) successors(x core.State) []core.Succ {
 	s, ok := x.(*State)
 	if !ok {
 		return nil

@@ -32,6 +32,7 @@ import (
 // messages, so the submodel is fair and nearly synchronous; consensus is
 // still impossible (the package tests certify the refutation).
 type Synchronic struct {
+	*core.SuccessorCache
 	p    proto.MPProtocol
 	n    int
 	name string
@@ -42,7 +43,9 @@ var _ core.Model = (*Synchronic)(nil)
 // NewSynchronic returns the synchronic message-passing model for protocol
 // p on n processes.
 func NewSynchronic(p proto.MPProtocol, n int) *Synchronic {
-	return &Synchronic{p: p, n: n, name: fmt.Sprintf("asyncmp/Ssync(n=%d,%s)", n, p.Name())}
+	m := &Synchronic{p: p, n: n, name: fmt.Sprintf("asyncmp/Ssync(n=%d,%s)", n, p.Name())}
+	m.SuccessorCache = core.NewSuccessorCache(core.SuccessorFunc(m.successors))
+	return m
 }
 
 // Name implements core.Model.
@@ -145,9 +148,9 @@ func (m *Synchronic) ApplyAbsent(x *State, j int) *State {
 	return w.freeze(m.p, x.inputs)
 }
 
-// Successors implements core.Model: S(x) = { x(j,k) } ∪ { x(j,A) },
-// mirroring the shared-memory synchronic layering.
-func (m *Synchronic) Successors(x core.State) []core.Succ {
+// successors enumerates S(x) = { x(j,k) } ∪ { x(j,A) }, mirroring the
+// shared-memory synchronic layering; the embedded cache serves Successors.
+func (m *Synchronic) successors(x core.State) []core.Succ {
 	s, ok := x.(*State)
 	if !ok {
 		return nil

@@ -44,9 +44,19 @@ func TestExploreBudget(t *testing.T) {
 	const n = 3
 	p := protocols.FloodSet{Rounds: 3}
 	m := mobile.New(p, n)
-	_, err := core.Explore(m, 3, 10)
+	g, err := core.Explore(m, 3, 10)
+	if !errors.Is(err, core.ErrNodeBudget) {
+		t.Errorf("err = %v, want ErrNodeBudget", err)
+	}
 	if !errors.Is(err, core.ErrDepthExceeded) {
-		t.Errorf("err = %v, want ErrDepthExceeded", err)
+		t.Errorf("err = %v, want the deprecated ErrDepthExceeded alias to match", err)
+	}
+	// The partial graph explored so far is returned alongside the error.
+	if g == nil || g.Len() != 10 {
+		t.Fatalf("partial graph = %v, want 10 nodes", g)
+	}
+	if len(g.InitKeys) != 1<<n {
+		t.Errorf("partial graph lost init keys: %d", len(g.InitKeys))
 	}
 }
 

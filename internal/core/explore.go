@@ -4,11 +4,20 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
-// ErrDepthExceeded is returned by Explore when the reachable state graph
-// exceeds the configured node budget before the depth bound is reached.
-var ErrDepthExceeded = errors.New("core: exploration exceeded node budget")
+// ErrNodeBudget is returned by Explore when the reachable state graph
+// exceeds the configured node budget before the depth bound is reached. The
+// partial graph explored so far is returned alongside the wrapped error, so
+// callers can report how far exploration got.
+var ErrNodeBudget = errors.New("core: exploration exceeded node budget")
+
+// ErrDepthExceeded is the old, misleading name for ErrNodeBudget (the
+// condition it reports is node-budget exhaustion, not a depth bound).
+//
+// Deprecated: use ErrNodeBudget.
+var ErrDepthExceeded = ErrNodeBudget
 
 // Edge is one labeled edge of an explored state graph, identified by state
 // keys.
@@ -18,8 +27,10 @@ type Edge struct {
 }
 
 // Graph is the explicit reachable state graph of a model, explored
-// breadth-first to a depth bound. It is the substrate for the connectivity
-// and valence analyses.
+// breadth-first to a depth bound, viewed through string keys. It is the
+// substrate for the connectivity and valence analyses. Graphs built by
+// Explore also carry the dense-id form (Dense) that id-based analyses
+// prefer.
 type Graph struct {
 	// Nodes maps a state key to the state.
 	Nodes map[string]State
@@ -34,69 +45,61 @@ type Graph struct {
 	InitKeys []string
 	// Depth is the exploration depth bound.
 	Depth int
+
+	// dense is the IDGraph this view was built from, when built by Explore.
+	dense *IDGraph
+
+	// byDepth caches StatesAtDepth buckets (sorted by key), built lazily
+	// from DepthOf on first use.
+	depthOnce sync.Once
+	byDepth   map[int][]State
 }
 
-// Explore builds the reachable state graph of m to the given depth. maxNodes
-// bounds the total number of distinct states; 0 means no bound. It returns
-// ErrDepthExceeded (wrapped) if the budget is exhausted.
+// Dense returns the dense-id form of the graph, or nil for a hand-built
+// Graph.
+func (g *Graph) Dense() *IDGraph { return g.dense }
+
+// Explore builds the reachable state graph of m to the given depth,
+// drawing successors from the model's shared cache when it has one.
+// maxNodes bounds the total number of distinct states; 0 means no bound.
+// If the budget is exhausted it returns the partial graph explored so far
+// together with ErrNodeBudget (wrapped).
 func Explore(m Model, depth, maxNodes int) (*Graph, error) {
-	g := &Graph{
-		Nodes:   make(map[string]State),
-		Edges:   make(map[string][]Edge),
-		DepthOf: make(map[string]int),
-		Depth:   depth,
-	}
-	var frontier []string
-	for _, x := range m.Inits() {
-		k := x.Key()
-		if _, seen := g.Nodes[k]; seen {
-			continue
-		}
-		g.Nodes[k] = x
-		g.DepthOf[k] = 0
-		g.InitKeys = append(g.InitKeys, k)
-		frontier = append(frontier, k)
-	}
-	for d := 0; d < depth; d++ {
-		var next []string
-		for _, k := range frontier {
-			x := g.Nodes[k]
-			succs := m.Successors(x)
-			edges := make([]Edge, 0, len(succs))
-			for _, s := range succs {
-				sk := s.State.Key()
-				edges = append(edges, Edge{Action: s.Action, To: sk})
-				if _, seen := g.Nodes[sk]; !seen {
-					if maxNodes > 0 && len(g.Nodes) >= maxNodes {
-						return nil, fmt.Errorf("at depth %d (%d nodes): %w", d+1, len(g.Nodes), ErrDepthExceeded)
-					}
-					g.Nodes[sk] = s.State
-					g.DepthOf[sk] = d + 1
-					next = append(next, sk)
-				}
-			}
-			g.Edges[k] = edges
-		}
-		frontier = next
-	}
-	return g, nil
+	ig, err := ExploreID(m, depth, maxNodes)
+	return ig.Legacy(), err
+}
+
+// ExploreParallel is Explore with each BFS frontier's successor enumeration
+// sharded across workers goroutines (workers <= 0 means GOMAXPROCS).
+// Per-worker results are merged deterministically in frontier order, so the
+// resulting graph — node set, edge order, depths, InitKeys, and any
+// budget-exhaustion point — is bit-identical to Explore's.
+func ExploreParallel(m Model, depth, maxNodes, workers int) (*Graph, error) {
+	ig, err := ExploreIDParallel(m, depth, maxNodes, workers)
+	return ig.Legacy(), err
 }
 
 // StatesAtDepth returns the states first reached at exactly depth d, sorted
-// by key for determinism.
+// by key for determinism. Buckets are computed once, on first call, and
+// cached: callers must not modify the returned slice, and must not mutate
+// DepthOf/Nodes after the first call.
 func (g *Graph) StatesAtDepth(d int) []State {
-	var keys []string
-	for k, kd := range g.DepthOf {
-		if kd == d {
-			keys = append(keys, k)
+	g.depthOnce.Do(func() {
+		keysAt := make(map[int][]string)
+		for k, kd := range g.DepthOf {
+			keysAt[kd] = append(keysAt[kd], k)
 		}
-	}
-	sort.Strings(keys)
-	out := make([]State, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, g.Nodes[k])
-	}
-	return out
+		g.byDepth = make(map[int][]State, len(keysAt))
+		for depth, keys := range keysAt {
+			sort.Strings(keys)
+			out := make([]State, 0, len(keys))
+			for _, k := range keys {
+				out = append(out, g.Nodes[k])
+			}
+			g.byDepth[depth] = out
+		}
+	})
+	return g.byDepth[d]
 }
 
 // Len returns the number of distinct states in the graph.
@@ -107,16 +110,24 @@ func (g *Graph) Len() int { return len(g.Nodes) }
 // same labeled successors in the same order. Admissibility (the paper's
 // pasting condition) holds by construction for R_S when S is a function of
 // the state alone; determinism is the executable face of that requirement.
+// When the model carries a successor cache the check bypasses it, so the
+// raw successor function is what is re-invoked.
 func (g *Graph) CheckDeterminism(m Model) error {
+	var s Successor = m
+	if c, ok := any(m).(interface{ Cache() *SuccessorCache }); ok {
+		if cache := c.Cache(); cache != nil {
+			s = cache.Uncached()
+		}
+	}
 	for k, edges := range g.Edges {
-		again := m.Successors(g.Nodes[k])
+		again := s.Successors(g.Nodes[k])
 		if len(again) != len(edges) {
 			return fmt.Errorf("core: successor count changed for state %q: %d then %d", k, len(edges), len(again))
 		}
-		for i, s := range again {
-			if s.Action != edges[i].Action || s.State.Key() != edges[i].To {
+		for i, sc := range again {
+			if sc.Action != edges[i].Action || sc.State.Key() != edges[i].To {
 				return fmt.Errorf("core: successor %d changed for state %q: (%s,%s) then (%s,%s)",
-					i, k, edges[i].Action, edges[i].To, s.Action, s.State.Key())
+					i, k, edges[i].Action, edges[i].To, sc.Action, sc.State.Key())
 			}
 		}
 	}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// IDGraph is the dense-id form of an explored reachable state graph: nodes
+// are uint32 ids assigned in BFS discovery order (deterministic for a
+// deterministic model), and edges live in flat CSR arrays instead of
+// per-key maps. It is the substrate the string-keyed Graph is built from;
+// analyses that sweep the whole graph should prefer this form.
+type IDGraph struct {
+	// Depth is the exploration depth bound.
+	Depth int
+	// States[u] is the state of node u; Keys[u] its canonical key.
+	States []State
+	Keys   []string
+	// DepthOf[u] is the first (minimum) layer depth at which node u was
+	// reached.
+	DepthOf []int32
+	// Inits are the initial-state nodes, in Inits order (duplicates
+	// removed, first occurrence kept).
+	Inits []uint32
+	// EdgeStart/EdgeAction/EdgeTo are the CSR edge arrays: node u's
+	// outgoing labeled edges, in successor-enumeration order, are the index
+	// range [EdgeStart[u], EdgeStart[u+1]). Only nodes at depth < Depth
+	// have edges recorded.
+	EdgeStart  []uint32
+	EdgeAction []string
+	EdgeTo     []uint32
+	// Cache is the successor cache the exploration drew from (the model's
+	// shared cache when it has one); later passes over the same model reuse
+	// its enumeration work.
+	Cache *SuccessorCache
+
+	// cacheIDs[u] is node u's id in Cache (not deterministic; a join key
+	// only).
+	cacheIDs []uint32
+	// layers[d] lists the nodes first reached at depth d, in discovery
+	// order.
+	layers [][]uint32
+}
+
+// Len returns the number of nodes.
+func (g *IDGraph) Len() int { return len(g.States) }
+
+// NumEdges returns the number of recorded edges.
+func (g *IDGraph) NumEdges() int { return len(g.EdgeTo) }
+
+// Out returns node u's outgoing edges as parallel action/target slices
+// (shared; callers must not modify).
+func (g *IDGraph) Out(u uint32) (actions []string, to []uint32) {
+	lo, hi := g.EdgeStart[u], g.EdgeStart[u+1]
+	return g.EdgeAction[lo:hi], g.EdgeTo[lo:hi]
+}
+
+// Layer returns the nodes first reached at depth d, in BFS discovery order
+// (shared; callers must not modify).
+func (g *IDGraph) Layer(d int) []uint32 {
+	if d < 0 || d >= len(g.layers) {
+		return nil
+	}
+	return g.layers[d]
+}
+
+// addNode appends a node and returns its id.
+func (g *IDGraph) addNode(x State, key string, depth int, cacheID uint32) uint32 {
+	u := uint32(len(g.States))
+	g.States = append(g.States, x)
+	g.Keys = append(g.Keys, key)
+	g.DepthOf = append(g.DepthOf, int32(depth))
+	g.cacheIDs = append(g.cacheIDs, cacheID)
+	for len(g.layers) <= depth {
+		g.layers = append(g.layers, nil)
+	}
+	g.layers[depth] = append(g.layers[depth], u)
+	return u
+}
+
+// padEdgeStart extends EdgeStart so that every node has an (empty if
+// unexpanded) edge range.
+func (g *IDGraph) padEdgeStart() {
+	last := uint32(len(g.EdgeTo))
+	for len(g.EdgeStart) < len(g.States)+1 {
+		g.EdgeStart = append(g.EdgeStart, last)
+	}
+}
+
+// ExploreID builds the dense-id reachable state graph of m to the given
+// depth, drawing successors from the model's shared cache when it has one.
+// maxNodes bounds the number of distinct states (0 = no bound); on budget
+// exhaustion the partial graph explored so far is returned alongside the
+// wrapped ErrNodeBudget.
+func ExploreID(m Model, depth, maxNodes int) (*IDGraph, error) {
+	return exploreID(m, depth, maxNodes, 1)
+}
+
+// ExploreIDParallel is ExploreID with the successor enumeration of each
+// frontier sharded across workers goroutines (workers <= 0 means
+// GOMAXPROCS). Per-worker results land in the shared successor cache and
+// are merged in frontier order by a single goroutine, so the resulting
+// graph — node numbering, edge order, depths, and any budget-exhaustion
+// point — is bit-identical to ExploreID's.
+func ExploreIDParallel(m Model, depth, maxNodes, workers int) (*IDGraph, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return exploreID(m, depth, maxNodes, workers)
+}
+
+func exploreID(m Model, depth, maxNodes, workers int) (*IDGraph, error) {
+	c := CacheOf(m)
+	g := &IDGraph{Depth: depth, Cache: c, EdgeStart: []uint32{0}}
+	cacheToNode := make(map[uint32]uint32)
+	var frontier []uint32
+	for _, x := range m.Inits() {
+		cid := c.ID(x)
+		if _, seen := cacheToNode[cid]; seen {
+			continue
+		}
+		u := g.addNode(x, c.KeyOf(cid), 0, cid)
+		cacheToNode[cid] = u
+		g.Inits = append(g.Inits, u)
+		frontier = append(frontier, u)
+	}
+	for d := 0; d < depth && len(frontier) > 0; d++ {
+		if workers > 1 {
+			warmFrontier(c, g, frontier, workers)
+		}
+		var next []uint32
+		for _, u := range frontier {
+			succs, sids := c.SuccessorsOf(g.cacheIDs[u], g.States[u])
+			for i := range succs {
+				cid := sids[i]
+				v, seen := cacheToNode[cid]
+				if !seen {
+					if maxNodes > 0 && len(g.States) >= maxNodes {
+						g.padEdgeStart()
+						return g, fmt.Errorf("at depth %d (%d nodes): %w", d+1, len(g.States), ErrNodeBudget)
+					}
+					v = g.addNode(succs[i].State, c.KeyOf(cid), d+1, cid)
+					cacheToNode[cid] = v
+					next = append(next, v)
+				}
+				g.EdgeAction = append(g.EdgeAction, succs[i].Action)
+				g.EdgeTo = append(g.EdgeTo, v)
+			}
+			g.EdgeStart = append(g.EdgeStart, uint32(len(g.EdgeTo)))
+		}
+		frontier = next
+	}
+	g.padEdgeStart()
+	return g, nil
+}
+
+// warmFrontier enumerates the successors of a frontier's nodes into the
+// shared cache from workers goroutines, one contiguous shard each. Only the
+// cache is written (it is concurrency-safe); the caller then merges in
+// frontier order, hitting the warmed entries.
+func warmFrontier(c *SuccessorCache, g *IDGraph, frontier []uint32, workers int) {
+	if workers > len(frontier) {
+		workers = len(frontier)
+	}
+	if workers <= 1 {
+		return
+	}
+	shard := (len(frontier) + workers - 1) / workers
+	done := make(chan struct{}, workers)
+	started := 0
+	for w := 0; w < workers; w++ {
+		lo := w * shard
+		if lo >= len(frontier) {
+			break
+		}
+		hi := lo + shard
+		if hi > len(frontier) {
+			hi = len(frontier)
+		}
+		started++
+		go func(part []uint32) {
+			for _, u := range part {
+				c.SuccessorsOf(g.cacheIDs[u], g.States[u])
+			}
+			done <- struct{}{}
+		}(frontier[lo:hi])
+	}
+	for w := 0; w < started; w++ {
+		<-done
+	}
+}
+
+// Legacy materializes the string-keyed Graph view of the dense graph. The
+// two share State values; the maps are freshly built.
+func (g *IDGraph) Legacy() *Graph {
+	out := &Graph{
+		Nodes:   make(map[string]State, len(g.States)),
+		Edges:   make(map[string][]Edge, len(g.States)),
+		DepthOf: make(map[string]int, len(g.States)),
+		Depth:   g.Depth,
+		dense:   g,
+	}
+	for u, s := range g.States {
+		k := g.Keys[u]
+		out.Nodes[k] = s
+		out.DepthOf[k] = int(g.DepthOf[u])
+	}
+	for u := range g.States {
+		lo, hi := g.EdgeStart[u], g.EdgeStart[u+1]
+		if lo == hi {
+			continue
+		}
+		edges := make([]Edge, 0, hi-lo)
+		for e := lo; e < hi; e++ {
+			edges = append(edges, Edge{Action: g.EdgeAction[e], To: g.Keys[g.EdgeTo[e]]})
+		}
+		out.Edges[g.Keys[u]] = edges
+	}
+	for _, u := range g.Inits {
+		out.InitKeys = append(out.InitKeys, g.Keys[u])
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package core
+
+// KeyIndex interns canonical state-key strings to dense uint32 ids. Ids are
+// assigned in first-intern order starting at 0, so any deterministic
+// traversal produces a deterministic numbering. The zero value is not
+// usable; use NewKeyIndex.
+//
+// A KeyIndex is not safe for concurrent use; callers that share one across
+// goroutines (SuccessorCache) provide their own locking.
+type KeyIndex struct {
+	ids  map[string]uint32
+	keys []string
+}
+
+// NewKeyIndex returns an empty index. sizeHint pre-sizes the table (0 is
+// fine).
+func NewKeyIndex(sizeHint int) *KeyIndex {
+	return &KeyIndex{ids: make(map[string]uint32, sizeHint)}
+}
+
+// Intern returns the id for key, assigning the next free id on first sight.
+// fresh reports whether the key was new.
+func (ix *KeyIndex) Intern(key string) (id uint32, fresh bool) {
+	if id, ok := ix.ids[key]; ok {
+		return id, false
+	}
+	id = uint32(len(ix.keys))
+	ix.ids[key] = id
+	ix.keys = append(ix.keys, key)
+	return id, true
+}
+
+// ID returns the id of an already-interned key.
+func (ix *KeyIndex) ID(key string) (uint32, bool) {
+	id, ok := ix.ids[key]
+	return id, ok
+}
+
+// Key returns the key string for an id. The returned string shares storage
+// with the index (strings are immutable, so this is safe).
+func (ix *KeyIndex) Key(id uint32) string { return ix.keys[id] }
+
+// Len returns the number of interned keys.
+func (ix *KeyIndex) Len() int { return len(ix.keys) }

@@ -1,0 +1,182 @@
+package core_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mobile"
+	"repro/internal/protocols"
+	"repro/internal/syncmp"
+)
+
+// graphsIdentical asserts the two string-keyed graphs are bit-identical:
+// same node set, same edge lists (order included), same depths, same init
+// keys.
+func graphsIdentical(t *testing.T, serial, parallel *core.Graph) {
+	t.Helper()
+	if len(serial.Nodes) != len(parallel.Nodes) {
+		t.Fatalf("node count: serial %d, parallel %d", len(serial.Nodes), len(parallel.Nodes))
+	}
+	for k := range serial.Nodes {
+		if _, ok := parallel.Nodes[k]; !ok {
+			t.Fatalf("parallel graph missing node %q", k)
+		}
+	}
+	if !reflect.DeepEqual(serial.DepthOf, parallel.DepthOf) {
+		t.Fatal("DepthOf maps differ")
+	}
+	if !reflect.DeepEqual(serial.InitKeys, parallel.InitKeys) {
+		t.Fatal("InitKeys differ")
+	}
+	if len(serial.Edges) != len(parallel.Edges) {
+		t.Fatalf("edge-map size: serial %d, parallel %d", len(serial.Edges), len(parallel.Edges))
+	}
+	for k, se := range serial.Edges {
+		if !reflect.DeepEqual(se, parallel.Edges[k]) {
+			t.Fatalf("edge order differs at %q", k)
+		}
+	}
+}
+
+func TestExploreParallelMatchesSerial(t *testing.T) {
+	models := []struct {
+		name  string
+		m     core.Model
+		depth int
+	}{
+		{"mobile", mobile.New(protocols.FloodSet{Rounds: 2}, 3), 2},
+		{"mobile-full", mobile.NewFull(protocols.FloodSet{Rounds: 2}, 3), 1},
+		{"sync-s1", syncmp.NewS1(protocols.FloodSet{Rounds: 2}, 3), 2},
+		{"sync-st", syncmp.NewSt(protocols.FloodSet{Rounds: 2}, 3, 1), 2},
+		{"sync-st-general", syncmp.NewStGeneral(protocols.FloodSet{Rounds: 2}, 3, 1), 2},
+		{"sync-st-multi", syncmp.NewStMulti(protocols.FloodSet{Rounds: 2}, 3, 2, 2), 2},
+	}
+	for _, tc := range models {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, err := core.Explore(tc.m, tc.depth, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{0, 1, 2, 3, 8} {
+				par, err := core.ExploreParallel(tc.m, tc.depth, 0, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				graphsIdentical(t, serial, par)
+			}
+		})
+	}
+}
+
+func TestExploreParallelBudgetMatchesSerial(t *testing.T) {
+	const budget = 25
+	mkModel := func() core.Model { return mobile.New(protocols.FloodSet{Rounds: 3}, 3) }
+	serial, serr := core.Explore(mkModel(), 3, budget)
+	if !errors.Is(serr, core.ErrNodeBudget) {
+		t.Fatalf("serial err = %v", serr)
+	}
+	par, perr := core.ExploreParallel(mkModel(), 3, budget, 4)
+	if !errors.Is(perr, core.ErrNodeBudget) {
+		t.Fatalf("parallel err = %v", perr)
+	}
+	if serr.Error() != perr.Error() {
+		t.Errorf("error text differs: %q vs %q", serr, perr)
+	}
+	graphsIdentical(t, serial, par)
+}
+
+func TestSuccessorCacheSharing(t *testing.T) {
+	m := mobile.New(protocols.FloodSet{Rounds: 2}, 3)
+	c := core.CacheOf(m)
+	if c != core.CacheOf(m) {
+		t.Fatal("model did not share one cache across CacheOf calls")
+	}
+	g, err := core.Explore(m, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dense() == nil || g.Dense().Cache != c {
+		t.Fatal("explored graph not drawing from the model's shared cache")
+	}
+	after := c.Enumerations()
+	// A second pass over the same model re-enumerates nothing.
+	if _, err := core.Explore(m, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Enumerations() != after {
+		t.Errorf("second exploration enumerated %d extra states", c.Enumerations()-after)
+	}
+	// The cached Successors agree with the raw function.
+	x := m.Inits()[0]
+	raw := c.Uncached().Successors(x)
+	got := m.Successors(x)
+	if len(raw) != len(got) {
+		t.Fatalf("cached successors %d, raw %d", len(got), len(raw))
+	}
+	for i := range raw {
+		if raw[i].Action != got[i].Action || raw[i].State.Key() != got[i].State.Key() {
+			t.Fatalf("successor %d differs through the cache", i)
+		}
+	}
+}
+
+func TestIDGraphStructure(t *testing.T) {
+	m := mobile.New(protocols.FloodSet{Rounds: 2}, 3)
+	ig, err := core.ExploreID(m, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ig.Len() == 0 || ig.NumEdges() == 0 {
+		t.Fatal("empty dense graph")
+	}
+	// Layers partition the nodes and agree with DepthOf.
+	total := 0
+	for d := 0; d <= 2; d++ {
+		for _, u := range ig.Layer(d) {
+			if int(ig.DepthOf[u]) != d {
+				t.Fatalf("node %d in layer %d has DepthOf %d", u, d, ig.DepthOf[u])
+			}
+			total++
+		}
+	}
+	if total != ig.Len() {
+		t.Fatalf("layers cover %d of %d nodes", total, ig.Len())
+	}
+	// CSR edges agree with the legacy map view.
+	leg := ig.Legacy()
+	for u := range ig.States {
+		actions, to := ig.Out(uint32(u))
+		edges := leg.Edges[ig.Keys[u]]
+		if len(actions) != len(edges) {
+			t.Fatalf("node %d: %d CSR edges, %d legacy edges", u, len(actions), len(edges))
+		}
+		for i := range edges {
+			if edges[i].Action != actions[i] || edges[i].To != ig.Keys[to[i]] {
+				t.Fatalf("node %d edge %d differs between CSR and legacy", u, i)
+			}
+		}
+	}
+}
+
+func TestStatesAtDepthCached(t *testing.T) {
+	m := mobile.New(protocols.FloodSet{Rounds: 2}, 3)
+	g, err := core.Explore(m, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := g.StatesAtDepth(1)
+	second := g.StatesAtDepth(1)
+	if len(first) == 0 {
+		t.Fatal("no states at depth 1")
+	}
+	if &first[0] != &second[0] {
+		t.Error("StatesAtDepth rebuilt its bucket on the second call")
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1].Key() >= first[i].Key() {
+			t.Fatal("bucket not sorted by key")
+		}
+	}
+}

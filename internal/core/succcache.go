@@ -1,0 +1,161 @@
+package core
+
+import "sync"
+
+// SuccessorCache is a shared, id-keyed successor memo. It interns every
+// state it sees (by canonical Key) into a dense uint32 id via a KeyIndex and
+// records each state's labeled successors the first time they are
+// enumerated, so a sweep that explores, then certifies, then measures
+// diameters enumerates each state's successors once instead of once per
+// pass. The model types embed one cache per model instance, which makes the
+// sharing automatic for every consumer of the same model value.
+//
+// A SuccessorCache is safe for concurrent use. Ids are assigned in
+// first-intern order, so their numeric values depend on access order and
+// must not be used as externally-visible identifiers; they are join keys
+// for memo tables and dense arrays only.
+//
+// The successor slices returned by the cache are shared: callers must not
+// modify them.
+type SuccessorCache struct {
+	fn Successor
+
+	mu      sync.RWMutex
+	idx     *KeyIndex
+	entries []*cacheEntry
+	enums   int
+}
+
+type cacheEntry struct {
+	state State
+	succs []Succ
+	ids   []uint32
+	done  bool
+}
+
+// NewSuccessorCache returns an empty cache over the raw successor function
+// fn.
+func NewSuccessorCache(fn Successor) *SuccessorCache {
+	return &SuccessorCache{fn: fn, idx: NewKeyIndex(0)}
+}
+
+// CacheOf returns the successor cache shared by s when s carries one (the
+// model types do, via embedding), or a fresh private cache wrapping s
+// otherwise.
+func CacheOf(s Successor) *SuccessorCache {
+	if p, ok := s.(interface{ Cache() *SuccessorCache }); ok {
+		if c := p.Cache(); c != nil {
+			return c
+		}
+	}
+	return NewSuccessorCache(s)
+}
+
+// Cache returns the cache itself; it exists so that embedding a
+// *SuccessorCache advertises the cache through the CacheOf protocol.
+func (c *SuccessorCache) Cache() *SuccessorCache { return c }
+
+// Uncached returns the raw successor function beneath the cache, for
+// callers (CheckDeterminism) that need to observe repeated enumeration.
+func (c *SuccessorCache) Uncached() Successor { return c.fn }
+
+// ID interns x and returns its dense id without enumerating successors.
+func (c *SuccessorCache) ID(x State) uint32 {
+	key := x.Key()
+	c.mu.RLock()
+	id, ok := c.idx.ID(key)
+	c.mu.RUnlock()
+	if ok {
+		return id
+	}
+	c.mu.Lock()
+	id = c.intern(key, x)
+	c.mu.Unlock()
+	return id
+}
+
+// intern assigns (or finds) the id for key, recording x as its state. The
+// caller holds the write lock.
+func (c *SuccessorCache) intern(key string, x State) uint32 {
+	id, fresh := c.idx.Intern(key)
+	if fresh {
+		c.entries = append(c.entries, &cacheEntry{state: x})
+	}
+	return id
+}
+
+// Successors implements Successor, memoized. The returned slice is shared;
+// callers must not modify it.
+func (c *SuccessorCache) Successors(x State) []Succ {
+	_, succs, _ := c.SuccessorsID(x)
+	return succs
+}
+
+// SuccessorsID interns x and returns its id, its labeled successors, and
+// the successors' interned ids (aligned with succs).
+func (c *SuccessorCache) SuccessorsID(x State) (id uint32, succs []Succ, ids []uint32) {
+	id = c.ID(x)
+	succs, ids = c.SuccessorsOf(id, x)
+	return id, succs, ids
+}
+
+// SuccessorsOf returns the successors of the already-interned state x with
+// id id, enumerating and recording them on first use. Passing the state
+// alongside its id lets deep recursions avoid ever re-deriving a key.
+func (c *SuccessorCache) SuccessorsOf(id uint32, x State) (succs []Succ, ids []uint32) {
+	c.mu.RLock()
+	e := c.entries[id]
+	done, succs, ids := e.done, e.succs, e.ids
+	c.mu.RUnlock()
+	if done {
+		return succs, ids
+	}
+	// Enumerate outside the lock; a concurrent duplicate enumeration is
+	// harmless (the successor function is deterministic) and the first
+	// writer wins.
+	raw := c.fn.Successors(x)
+	rawIDs := make([]uint32, len(raw))
+	c.mu.Lock()
+	if e.done {
+		succs, ids = e.succs, e.ids
+		c.mu.Unlock()
+		return succs, ids
+	}
+	c.enums++
+	for i, s := range raw {
+		rawIDs[i] = c.intern(s.State.Key(), s.State)
+	}
+	e.succs, e.ids, e.done = raw, rawIDs, true
+	c.mu.Unlock()
+	return raw, rawIDs
+}
+
+// StateOf returns the state interned under id.
+func (c *SuccessorCache) StateOf(id uint32) State {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.entries[id].state
+}
+
+// KeyOf returns the canonical key interned under id.
+func (c *SuccessorCache) KeyOf(id uint32) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.Key(id)
+}
+
+// Len returns the number of distinct states interned so far.
+func (c *SuccessorCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.Len()
+}
+
+// Enumerations returns how many raw successor enumerations the cache has
+// performed — the search effort actually paid, as opposed to the number of
+// Successors calls served.
+func (c *SuccessorCache) Enumerations() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.enums
+}

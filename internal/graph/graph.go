@@ -101,23 +101,55 @@ func (g *Undirected) Distances(src int) []int {
 // Diameter returns the largest finite BFS distance between any pair of
 // vertices, and whether the graph is connected. For a disconnected graph the
 // returned diameter is the maximum over components.
+//
+// The all-pairs sweep first compacts the adjacency lists into flat CSR
+// arrays and then reuses one distance array and one queue across the n BFS
+// passes, so the per-source cost is a cache-friendly linear scan with no
+// allocation.
 func (g *Undirected) Diameter() (int, bool) {
 	n := len(g.adj)
 	if n == 0 {
 		return 0, true
 	}
+	// CSR compaction of the adjacency lists.
+	start := make([]int32, n+1)
+	for u, nbrs := range g.adj {
+		start[u+1] = start[u] + int32(len(nbrs))
+	}
+	flat := make([]int32, start[n])
+	for u, nbrs := range g.adj {
+		at := start[u]
+		for i, v := range nbrs {
+			flat[at+int32(i)] = int32(v)
+		}
+	}
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
 	maxd := 0
 	connected := true
 	for s := 0; s < n; s++ {
-		dist := g.Distances(s)
-		for _, d := range dist {
-			if d < 0 {
-				connected = false
-				continue
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], int32(s))
+		reached := 1
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			du := dist[u]
+			for _, v := range flat[start[u]:start[u+1]] {
+				if dist[v] < 0 {
+					dist[v] = du + 1
+					if int(du)+1 > maxd {
+						maxd = int(du) + 1
+					}
+					reached++
+					queue = append(queue, v)
+				}
 			}
-			if d > maxd {
-				maxd = d
-			}
+		}
+		if reached < n {
+			connected = false
 		}
 	}
 	return maxd, connected

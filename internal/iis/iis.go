@@ -99,7 +99,10 @@ func (s *State) Round() int { return s.round }
 
 // Model is the IIS model; every layer is one one-shot immediate-snapshot
 // round, one successor per ordered partition. It implements core.Model.
+// Successor enumeration is memoized in an embedded per-model cache shared
+// by every analysis pass over the same model value.
 type Model struct {
+	*core.SuccessorCache
 	p          proto.SMProtocol
 	n          int
 	name       string
@@ -110,12 +113,14 @@ var _ core.Model = (*Model)(nil)
 
 // New returns the IIS model for protocol p on n processes.
 func New(p proto.SMProtocol, n int) *Model {
-	return &Model{
+	m := &Model{
 		p:          p,
 		n:          n,
 		name:       fmt.Sprintf("iis(n=%d,%s)", n, p.Name()),
 		partitions: OrderedPartitions(n),
 	}
+	m.SuccessorCache = core.NewSuccessorCache(core.SuccessorFunc(m.successors))
+	return m
 }
 
 // Name implements core.Model.
@@ -176,8 +181,9 @@ func (m *Model) Apply(x *State, partition [][]int) *State {
 	return NewState(m.p, x.round+1, locals, x.inputs)
 }
 
-// Successors implements core.Model: one successor per ordered partition.
-func (m *Model) Successors(x core.State) []core.Succ {
+// successors enumerates one successor per ordered partition; the embedded
+// cache serves Successors.
+func (m *Model) successors(x core.State) []core.Succ {
 	s, ok := x.(*State)
 	if !ok {
 		return nil

@@ -23,8 +23,11 @@ import (
 	"repro/internal/syncmp"
 )
 
-// Model is M^mf with the S1 layering. It implements core.Model.
+// Model is M^mf with the S1 layering. It implements core.Model. Successor
+// enumeration is memoized in an embedded per-model cache shared by every
+// analysis pass over the same model value.
 type Model struct {
+	*core.SuccessorCache
 	p    proto.SyncProtocol
 	n    int
 	name string
@@ -34,7 +37,9 @@ var _ core.Model = (*Model)(nil)
 
 // New returns M^mf with the S1 layering for protocol p on n processes.
 func New(p proto.SyncProtocol, n int) *Model {
-	return &Model{p: p, n: n, name: fmt.Sprintf("mobile/S1(n=%d,%s)", n, p.Name())}
+	m := &Model{p: p, n: n, name: fmt.Sprintf("mobile/S1(n=%d,%s)", n, p.Name())}
+	m.SuccessorCache = core.NewSuccessorCache(core.SuccessorFunc(m.successors))
+	return m
 }
 
 // Name implements core.Model.
@@ -68,10 +73,10 @@ func (m *Model) Initial(inputs []int) *syncmp.State {
 	return syncmp.NewState(m.p, 0, locals, 0, false, inputs)
 }
 
-// Successors implements core.Model: one successor per action (j,[k]). The
-// failure-free successors x(j,[0]) coincide for all j and are emitted once,
-// labeled "noop".
-func (m *Model) Successors(x core.State) []core.Succ {
+// successors enumerates one successor per action (j,[k]); the embedded
+// cache serves Successors. The failure-free successors x(j,[0]) coincide
+// for all j and are emitted once, labeled "noop".
+func (m *Model) successors(x core.State) []core.Succ {
 	s, ok := x.(*syncmp.State)
 	if !ok {
 		return nil
@@ -107,6 +112,7 @@ func (m *Model) Apply(x *syncmp.State, j int, omitTo uint64) *syncmp.State {
 // the submodel holds a fortiori here — both are checked in the package
 // tests.
 type FullModel struct {
+	*core.SuccessorCache
 	inner *Model
 	p     proto.SyncProtocol
 	n     int
@@ -117,12 +123,14 @@ var _ core.Model = (*FullModel)(nil)
 
 // NewFull returns the unrestricted M^mf for protocol p on n processes.
 func NewFull(p proto.SyncProtocol, n int) *FullModel {
-	return &FullModel{
+	m := &FullModel{
 		inner: New(p, n),
 		p:     p,
 		n:     n,
 		name:  fmt.Sprintf("mobile/full(n=%d,%s)", n, p.Name()),
 	}
+	m.SuccessorCache = core.NewSuccessorCache(core.SuccessorFunc(m.successors))
+	return m
 }
 
 // Name implements core.Model.
@@ -137,9 +145,10 @@ func (m *FullModel) Inits() []core.State { return m.inner.Inits() }
 // Initial builds the initial state for an explicit input assignment.
 func (m *FullModel) Initial(inputs []int) *syncmp.State { return m.inner.Initial(inputs) }
 
-// Successors implements core.Model: one successor per (j, G) with G any
-// non-empty subset, plus the failure-free action.
-func (m *FullModel) Successors(x core.State) []core.Succ {
+// successors enumerates one successor per (j, G) with G any non-empty
+// subset, plus the failure-free action; the embedded cache serves
+// Successors.
+func (m *FullModel) successors(x core.State) []core.Succ {
 	s, ok := x.(*syncmp.State)
 	if !ok {
 		return nil

@@ -103,8 +103,10 @@ func (s *State) InputOf(i int) int { return s.inputs[i] }
 func (s *State) Registers() []string { return append([]string(nil), s.regs...) }
 
 // Model is M^rw with the synchronic layering S^rw. It implements
-// core.Model.
+// core.Model. Successor enumeration is memoized in an embedded per-model
+// cache shared by every analysis pass over the same model value.
 type Model struct {
+	*core.SuccessorCache
 	p    proto.SMProtocol
 	n    int
 	name string
@@ -114,7 +116,9 @@ var _ core.Model = (*Model)(nil)
 
 // New returns M^rw/S^rw for protocol p on n processes.
 func New(p proto.SMProtocol, n int) *Model {
-	return &Model{p: p, n: n, name: fmt.Sprintf("shmem/Srw(n=%d,%s)", n, p.Name())}
+	m := &Model{p: p, n: n, name: fmt.Sprintf("shmem/Srw(n=%d,%s)", n, p.Name())}
+	m.SuccessorCache = core.NewSuccessorCache(core.SuccessorFunc(m.successors))
+	return m
 }
 
 // Name implements core.Model.
@@ -149,9 +153,9 @@ func (m *Model) Initial(inputs []int) *State {
 	return NewState(m.p, make([]string, m.n), locals, inputs)
 }
 
-// Successors implements core.Model: S^rw(x) = { x(j,k) } ∪ { x(j,A) }.
-// Action labels are "(j,k)" and "(j,A)".
-func (m *Model) Successors(x core.State) []core.Succ {
+// successors enumerates S^rw(x) = { x(j,k) } ∪ { x(j,A) }; the embedded
+// cache serves Successors. Action labels are "(j,k)" and "(j,A)".
+func (m *Model) successors(x core.State) []core.Succ {
 	s, ok := x.(*State)
 	if !ok {
 		return nil

@@ -138,7 +138,7 @@ func (c *Complex) thickGraph(n, k int) (*graph.Undirected, []Simplex) {
 	}
 	for i := 0; i < len(tops); i++ {
 		for j := i + 1; j < len(tops); j++ {
-			if tops[i].Intersect(tops[j]).Size() >= need {
+			if tops[i].IntersectSize(tops[j]) >= need {
 				g.AddEdge(i, j)
 			}
 		}

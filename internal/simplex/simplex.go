@@ -12,7 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 )
 
 // ErrDuplicateID is returned when a simplex is built with two vertices
@@ -26,9 +26,34 @@ type Vertex struct {
 }
 
 // Simplex is a set of vertices with pairwise-distinct process ids, kept
-// sorted by id. The zero value is the empty simplex.
+// sorted by id. The zero value is the empty simplex. The canonical key is
+// computed once at construction; copies share it.
 type Simplex struct {
 	verts []Vertex
+	key   string
+}
+
+// newSimplex wraps an id-sorted, duplicate-free vertex slice, computing the
+// canonical key eagerly (simplexes are used as map keys throughout the
+// complex machinery, so the key is nearly always needed).
+func newSimplex(vs []Vertex) Simplex {
+	return Simplex{verts: vs, key: encodeKey(vs)}
+}
+
+func encodeKey(vs []Vertex) string {
+	if len(vs) == 0 {
+		return ""
+	}
+	b := make([]byte, 0, 8*len(vs))
+	for i, v := range vs {
+		if i > 0 {
+			b = append(b, ';')
+		}
+		b = strconv.AppendInt(b, int64(v.ID), 10)
+		b = append(b, '=')
+		b = strconv.AppendInt(b, int64(v.Value), 10)
+	}
+	return string(b)
 }
 
 // New builds a simplex from vertices, sorting by process id. It returns
@@ -41,7 +66,7 @@ func New(verts ...Vertex) (Simplex, error) {
 			return Simplex{}, fmt.Errorf("id %d: %w", vs[i].ID, ErrDuplicateID)
 		}
 	}
-	return Simplex{verts: vs}, nil
+	return newSimplex(vs), nil
 }
 
 // MustNew is New for statically-known vertex sets; it panics on duplicate
@@ -60,7 +85,7 @@ func FromValues(values []int) Simplex {
 	for i, v := range values {
 		vs[i] = Vertex{ID: i, Value: v}
 	}
-	return Simplex{verts: vs}
+	return newSimplex(vs)
 }
 
 // Size returns the number of vertices (the paper's k for a k-size-simplex).
@@ -80,16 +105,7 @@ func (s Simplex) ValueOf(id int) (int, bool) {
 
 // Key returns a canonical encoding; two simplexes are equal exactly if
 // their Keys are equal.
-func (s Simplex) Key() string {
-	var b strings.Builder
-	for i, v := range s.verts {
-		if i > 0 {
-			b.WriteByte(';')
-		}
-		fmt.Fprintf(&b, "%d=%d", v.ID, v.Value)
-	}
-	return b.String()
-}
+func (s Simplex) Key() string { return s.key }
 
 // String implements fmt.Stringer.
 func (s Simplex) String() string { return "{" + s.Key() + "}" }
@@ -119,7 +135,31 @@ func (s Simplex) Intersect(t Simplex) Simplex {
 			common = append(common, v)
 		}
 	}
-	return Simplex{verts: common}
+	return newSimplex(common)
+}
+
+// IntersectSize returns the number of vertices common to s and t without
+// materializing the intersection — the hot inner comparison of the k-thick
+// adjacency graphs. Both vertex slices are id-sorted, so a single merge
+// suffices.
+func (s Simplex) IntersectSize(t Simplex) int {
+	count, i, j := 0, 0, 0
+	for i < len(s.verts) && j < len(t.verts) {
+		a, b := s.verts[i], t.verts[j]
+		switch {
+		case a.ID < b.ID:
+			i++
+		case a.ID > b.ID:
+			j++
+		default:
+			if a.Value == b.Value {
+				count++
+			}
+			i++
+			j++
+		}
+	}
+	return count
 }
 
 // Faces returns all faces of s of exactly the given size.
@@ -127,7 +167,7 @@ func (s Simplex) Faces(size int) []Simplex {
 	if size < 0 || size > len(s.verts) {
 		return nil
 	}
-	var out []Simplex
+	out := make([]Simplex, 0, binomial(len(s.verts), size))
 	idx := make([]int, size)
 	var rec func(start, depth int)
 	rec = func(start, depth int) {
@@ -136,7 +176,7 @@ func (s Simplex) Faces(size int) []Simplex {
 			for i, j := range idx {
 				vs[i] = s.verts[j]
 			}
-			out = append(out, Simplex{verts: vs})
+			out = append(out, newSimplex(vs))
 			return
 		}
 		for j := start; j <= len(s.verts)-(size-depth); j++ {
@@ -145,5 +185,21 @@ func (s Simplex) Faces(size int) []Simplex {
 		}
 	}
 	rec(0, 0)
+	return out
+}
+
+// binomial returns C(n, k); the arguments here are vertex counts, far from
+// overflow.
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1
+	for i := 1; i <= k; i++ {
+		out = out * (n - k + i) / i
+	}
 	return out
 }

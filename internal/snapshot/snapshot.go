@@ -100,8 +100,11 @@ func (s *State) InputOf(i int) int { return s.inputs[i] }
 func (s *State) Segments() []string { return append([]string(nil), s.segs...) }
 
 // Model is the snapshot model with the permutation layering. It implements
-// core.Model and reuses the shared-memory protocol interface.
+// core.Model and reuses the shared-memory protocol interface. Successor
+// enumeration is memoized in an embedded per-model cache shared by every
+// analysis pass over the same model value.
 type Model struct {
+	*core.SuccessorCache
 	p    proto.SMProtocol
 	n    int
 	name string
@@ -111,7 +114,9 @@ var _ core.Model = (*Model)(nil)
 
 // New returns the snapshot model for protocol p on n processes.
 func New(p proto.SMProtocol, n int) *Model {
-	return &Model{p: p, n: n, name: fmt.Sprintf("snapshot/Sper(n=%d,%s)", n, p.Name())}
+	m := &Model{p: p, n: n, name: fmt.Sprintf("snapshot/Sper(n=%d,%s)", n, p.Name())}
+	m.SuccessorCache = core.NewSuccessorCache(core.SuccessorFunc(m.successors))
+	return m
 }
 
 // Name implements core.Model.
@@ -190,8 +195,9 @@ func (m *Model) WithPair(x *State, order []int, k int) *State {
 	return NewState(m.p, segs, locals, x.inputs)
 }
 
-// Successors implements core.Model, mirroring asyncmp's action set.
-func (m *Model) Successors(x core.State) []core.Succ {
+// successors enumerates asyncmp's action set; the embedded cache serves
+// Successors.
+func (m *Model) successors(x core.State) []core.Succ {
 	s, ok := x.(*State)
 	if !ok {
 		return nil

@@ -10,7 +10,10 @@ import (
 
 // Model is the t-resilient synchronous message-passing model equipped with
 // one of the paper's layerings (S1 or S^t). It implements core.Model.
+// Successor enumeration is memoized in an embedded per-model cache shared
+// by every analysis pass over the same model value.
 type Model struct {
+	*core.SuccessorCache
 	p       proto.SyncProtocol
 	n       int
 	t       int
@@ -26,12 +29,18 @@ var _ core.Model = (*Model)(nil)
 // failures recorded and failed processes silenced forever. The number of
 // failures is not capped (callers exploring d layers see at most d).
 func NewS1(p proto.SyncProtocol, n int) *Model {
-	return &Model{
+	return finishModel(&Model{
 		p:    p,
 		n:    n,
 		t:    n,
 		name: fmt.Sprintf("syncmp/S1(n=%d,%s)", n, p.Name()),
-	}
+	})
+}
+
+// finishModel wires the model's embedded successor cache.
+func finishModel(m *Model) *Model {
+	m.SuccessorCache = core.NewSuccessorCache(core.SuccessorFunc(m.successors))
+	return m
 }
 
 // NewSt returns the synchronous model with the S^t layering of Section 6:
@@ -39,13 +48,13 @@ func NewS1(p proto.SyncProtocol, n int) *Model {
 // single failure-free successor afterwards. Failures are sending
 // omissions, the paper's model.
 func NewSt(p proto.SyncProtocol, n, t int) *Model {
-	return &Model{
+	return finishModel(&Model{
 		p:      p,
 		n:      n,
 		t:      t,
 		budget: true,
 		name:   fmt.Sprintf("syncmp/St(n=%d,t=%d,%s)", n, t, p.Name()),
-	}
+	})
 }
 
 // NewStGeneral is NewSt under general-omission failures: from the round
@@ -55,14 +64,14 @@ func NewSt(p proto.SyncProtocol, n, t int) *Model {
 // insensitive to the change — the package tests certify and refute the
 // same protocols.
 func NewStGeneral(p proto.SyncProtocol, n, t int) *Model {
-	return &Model{
+	return finishModel(&Model{
 		p:       p,
 		n:       n,
 		t:       t,
 		budget:  true,
 		general: true,
 		name:    fmt.Sprintf("syncmp/StGen(n=%d,t=%d,%s)", n, t, p.Name()),
-	}
+	})
 }
 
 // Name implements core.Model.
@@ -97,11 +106,12 @@ func (m *Model) Initial(inputs []int) *State {
 	return NewState(m.p, 0, locals, 0, true, inputs)
 }
 
-// Successors implements core.Model. Actions are labeled "noop" for the
-// failure-free round and "(j,[k])" for process j omitting to the first k
-// processes (k >= 1). Processes already failed generate no new actions:
-// they are silenced regardless, so their actions would duplicate "noop".
-func (m *Model) Successors(x core.State) []core.Succ {
+// successors enumerates the labeled successors; the embedded cache serves
+// Successors. Actions are labeled "noop" for the failure-free round and
+// "(j,[k])" for process j omitting to the first k processes (k >= 1).
+// Processes already failed generate no new actions: they are silenced
+// regardless, so their actions would duplicate "noop".
+func (m *Model) successors(x core.State) []core.Succ {
 	s, ok := x.(*State)
 	if !ok {
 		return nil

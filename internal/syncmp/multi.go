@@ -16,6 +16,7 @@ import (
 // bivalence must end w rounds earlier. The failure budget t still caps the
 // run's total failures.
 type MultiModel struct {
+	*core.SuccessorCache
 	p           proto.SyncProtocol
 	n           int
 	t           int
@@ -28,13 +29,15 @@ var _ core.Model = (*MultiModel)(nil)
 // NewStMulti returns the t-resilient synchronous model whose layers allow
 // up to maxPerRound simultaneous new failures.
 func NewStMulti(p proto.SyncProtocol, n, t, maxPerRound int) *MultiModel {
-	return &MultiModel{
+	m := &MultiModel{
 		p:           p,
 		n:           n,
 		t:           t,
 		maxPerRound: maxPerRound,
 		name:        fmt.Sprintf("syncmp/StMulti(n=%d,t=%d,c=%d,%s)", n, t, maxPerRound, p.Name()),
 	}
+	m.SuccessorCache = core.NewSuccessorCache(core.SuccessorFunc(m.successors))
+	return m
 }
 
 // Name implements core.Model.
@@ -93,10 +96,10 @@ func (m *MultiModel) ApplyMulti(x *State, oms []Omission) *State {
 	return NewState(m.p, x.round+1, next, x.failed|failNow, true, x.inputs)
 }
 
-// Successors implements core.Model: the failure-free round plus every
-// combination of up to maxPerRound new failures within the remaining
-// budget.
-func (m *MultiModel) Successors(x core.State) []core.Succ {
+// successors enumerates the failure-free round plus every combination of
+// up to maxPerRound new failures within the remaining budget; the embedded
+// cache serves Successors.
+func (m *MultiModel) successors(x core.State) []core.Succ {
 	s, ok := x.(*State)
 	if !ok {
 		return nil

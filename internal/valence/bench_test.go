@@ -78,7 +78,7 @@ func BenchmarkAnalyzeLayer(b *testing.B) {
 }
 
 func BenchmarkCertify(b *testing.B) {
-	for _, cfg := range []struct{ n, t int }{{3, 1}, {4, 2}} {
+	for _, cfg := range []struct{ n, t int }{{3, 1}, {4, 2}, {5, 1}} {
 		b.Run(fmt.Sprintf("floodset/n=%d/t=%d", cfg.n, cfg.t), func(b *testing.B) {
 			m := syncmp.NewSt(protocols.FloodSet{Rounds: cfg.t + 1}, cfg.n, cfg.t)
 			b.ReportAllocs()

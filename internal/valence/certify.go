@@ -70,16 +70,11 @@ func Certify(m core.Model, bound, maxVisits int) (*Witness, error) {
 // multivalued Con_0 built with a model's Initial method, or a single
 // suspicious input assignment.
 func CertifyFrom(m core.Model, inits []core.State, bound, maxVisits int) (*Witness, error) {
-	c := &certifier{
-		m:         m,
-		bound:     bound,
-		maxVisits: maxVisits,
-		memo:      make(map[certMemoKey]bool),
-	}
+	c := newCertifier(m, bound, maxVisits)
 	for _, init := range inits {
 		inputs := inputMask(init)
 		exec := &core.Execution{Init: init}
-		w, err := c.dfs(init, bound, inputs, exec)
+		w, err := c.dfs(c.cache.ID(init), init, bound, inputs, exec)
 		if err != nil {
 			return nil, err
 		}
@@ -91,22 +86,39 @@ func CertifyFrom(m core.Model, inits []core.State, bound, maxVisits int) (*Witne
 	return &Witness{Kind: OK, Explored: c.visits}, nil
 }
 
+// certMemoKey keys the certified-clean memo on the state's dense cache id
+// instead of its canonical key string — smaller keys, no per-visit hashing
+// of long state strings.
 type certMemoKey struct {
-	key    string
-	depth  int
+	id     uint32
+	depth  int32
 	inputs uint64
 }
 
 type certifier struct {
 	m         core.Model
+	cache     *core.SuccessorCache
 	bound     int
 	maxVisits int
 	visits    int
 	memo      map[certMemoKey]bool // true = subtree certified clean
 }
 
-func (c *certifier) dfs(x core.State, remaining int, inputs uint64, exec *core.Execution) (*Witness, error) {
-	mk := certMemoKey{key: x.Key(), depth: remaining, inputs: inputs}
+// newCertifier builds a certifier drawing successors from the model's
+// shared cache (a private one if the model has none). The memo table is
+// always private to the certifier.
+func newCertifier(m core.Model, bound, maxVisits int) *certifier {
+	return &certifier{
+		m:         m,
+		cache:     core.CacheOf(m),
+		bound:     bound,
+		maxVisits: maxVisits,
+		memo:      make(map[certMemoKey]bool),
+	}
+}
+
+func (c *certifier) dfs(id uint32, x core.State, remaining int, inputs uint64, exec *core.Execution) (*Witness, error) {
+	mk := certMemoKey{id: id, depth: int32(remaining), inputs: inputs}
 	if c.memo[mk] {
 		return nil, nil
 	}
@@ -130,13 +142,15 @@ func (c *certifier) dfs(x core.State, remaining int, inputs uint64, exec *core.E
 		c.memo[mk] = true
 		return nil, nil
 	}
-	for _, s := range c.m.Successors(x) {
+	succs, sids := c.cache.SuccessorsOf(id, x)
+	for i := range succs {
+		s := succs[i]
 		if w := checkWriteOnce(x, s.State); w != nil {
 			w.Exec = exec.Extend(s.Action, s.State)
 			w.Detail = fmt.Sprintf("%s (action %s)", w.Detail, s.Action)
 			return w, nil
 		}
-		w, err := c.dfs(s.State, remaining-1, inputs, exec.Extend(s.Action, s.State))
+		w, err := c.dfs(sids[i], s.State, remaining-1, inputs, exec.Extend(s.Action, s.State))
 		if err != nil || w != nil {
 			return w, err
 		}

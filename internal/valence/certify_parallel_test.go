@@ -1,0 +1,84 @@
+package valence_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mobile"
+	"repro/internal/protocols"
+	"repro/internal/syncmp"
+	"repro/internal/valence"
+)
+
+// TestCertifyParallelPropertyMatchesSerial is the determinism property of
+// CertifyParallel: across randomized models (family, size, protocol
+// parameters, bound) and worker counts, the parallel certifier must return
+// the same verdict as the serial one, and on violation the same
+// earliest-init witness — same violating initial state and the identical
+// action sequence leading to the violation. Run it under -race to also
+// exercise the shared successor cache from concurrent workers.
+func TestCertifyParallelPropertyMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+
+	type build func(rounds, n, tf int) core.Model
+	families := []struct {
+		name  string
+		build build
+	}{
+		{"syncmp-st-floodset", func(rounds, n, tf int) core.Model {
+			return syncmp.NewSt(protocols.FloodSet{Rounds: rounds}, n, tf)
+		}},
+		{"syncmp-st-earlyflood", func(rounds, n, tf int) core.Model {
+			return syncmp.NewSt(protocols.EarlyFloodSet{MaxRounds: rounds}, n, tf)
+		}},
+		{"mobile-floodset", func(rounds, n, tf int) core.Model {
+			return mobile.New(protocols.FloodSet{Rounds: rounds}, n)
+		}},
+	}
+
+	const trials = 12
+	for trial := 0; trial < trials; trial++ {
+		fam := families[rng.Intn(len(families))]
+		n := 3 + rng.Intn(2)      // 3 or 4 processes
+		tf := 1 + rng.Intn(n-2)   // 1 .. n-2 failures
+		rounds := 1 + rng.Intn(2) // protocol parameter
+		bound := 1 + rng.Intn(2)  // certified layers
+		workers := []int{1, 2, 3, 1 + rng.Intn(8)}
+
+		m := fam.build(rounds, n, tf)
+		name := fmt.Sprintf("trial%02d-%s-n%d-t%d-r%d-b%d", trial, fam.name, n, tf, rounds, bound)
+		t.Run(name, func(t *testing.T) {
+			serial, err := valence.Certify(m, bound, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workers {
+				par, err := valence.CertifyParallel(m, bound, 0, w)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if par.Kind != serial.Kind {
+					t.Fatalf("workers=%d: kind %v != serial %v", w, par.Kind, serial.Kind)
+				}
+				if serial.Kind == valence.OK {
+					continue
+				}
+				if par.Exec.Init.Key() != serial.Exec.Init.Key() {
+					t.Errorf("workers=%d: witness init differs:\n  par    %s\n  serial %s",
+						w, par.Exec.Init.Key(), serial.Exec.Init.Key())
+				}
+				if len(par.Exec.Steps) != len(serial.Exec.Steps) {
+					t.Fatalf("workers=%d: witness length %d != %d", w, len(par.Exec.Steps), len(serial.Exec.Steps))
+				}
+				for i := range par.Exec.Steps {
+					if par.Exec.Steps[i].Action != serial.Exec.Steps[i].Action {
+						t.Errorf("workers=%d: step %d action %q != %q",
+							w, i, par.Exec.Steps[i].Action, serial.Exec.Steps[i].Action)
+					}
+				}
+			}
+		})
+	}
+}

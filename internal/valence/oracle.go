@@ -31,20 +31,25 @@ const (
 )
 
 // Oracle computes horizon-bounded binary valence over a successor function,
-// with memoization on (state key, horizon).
+// with memoization on (state id, horizon). States are interned to dense
+// uint32 ids by the successor cache backing the oracle — the model's shared
+// cache when the successor function carries one — so repeated analyses over
+// the same model reuse both the enumeration work and the key space.
 type Oracle struct {
-	succ core.Successor
-	memo map[memoKey]uint8
+	cache *core.SuccessorCache
+	memo  map[memoKey]uint8
 }
 
 type memoKey struct {
-	key     string
-	horizon int
+	id      uint32
+	horizon int32
 }
 
-// NewOracle returns an oracle over succ.
+// NewOracle returns an oracle over succ. When succ is (or wraps) a model
+// with an embedded successor cache, the oracle draws from that shared
+// cache; otherwise it builds a private one.
 func NewOracle(succ core.Successor) *Oracle {
-	return &Oracle{succ: succ, memo: make(map[memoKey]uint8)}
+	return &Oracle{cache: core.CacheOf(succ), memo: make(map[memoKey]uint8)}
 }
 
 // Valences returns the valence mask of x within the given horizon: bit V0
@@ -52,14 +57,19 @@ func NewOracle(succ core.Successor) *Oracle {
 // reaches a state where a process that is non-failed there has decided 0
 // (1).
 func (o *Oracle) Valences(x core.State, horizon int) uint8 {
-	k := memoKey{key: x.Key(), horizon: horizon}
+	return o.valences(o.cache.ID(x), x, horizon)
+}
+
+func (o *Oracle) valences(id uint32, x core.State, horizon int) uint8 {
+	k := memoKey{id: id, horizon: int32(horizon)}
 	if v, ok := o.memo[k]; ok {
 		return v
 	}
 	mask := uint8(core.DecidedValues(x) & 0b11)
 	if mask != V0|V1 && horizon > 0 {
-		for _, s := range o.succ.Successors(x) {
-			mask |= o.Valences(s.State, horizon-1)
+		succs, sids := o.cache.SuccessorsOf(id, x)
+		for i := range succs {
+			mask |= o.valences(sids[i], succs[i].State, horizon-1)
 			if mask == V0|V1 {
 				break
 			}

@@ -10,8 +10,11 @@ import (
 // one worker per CPU-ish slot, and returns the same verdict Certify would:
 // the witness of the earliest (in Inits order) violating initial state, or
 // OK. Each worker owns a private memo table (roots share little of their
-// early state space; the duplication is bounded by the per-root budget).
-// maxVisitsPerRoot caps each root's search independently (0 = unbounded).
+// early state space; the duplication is bounded by the per-root budget),
+// but all workers draw successors from the model's shared concurrency-safe
+// cache, so a state expanded under one root is never re-enumerated under
+// another. maxVisitsPerRoot caps each root's search independently (0 =
+// unbounded).
 func CertifyParallel(m core.Model, bound, maxVisitsPerRoot, workers int) (*Witness, error) {
 	inits := m.Inits()
 	if workers < 1 {
@@ -71,15 +74,10 @@ func certifyOne(m core.Model, init core.State, bound, maxVisits int) (out struct
 	w   *Witness
 	err error
 }) {
-	c := &certifier{
-		m:         m,
-		bound:     bound,
-		maxVisits: maxVisits,
-		memo:      make(map[certMemoKey]bool),
-	}
+	c := newCertifier(m, bound, maxVisits)
 	inputs := inputMask(init)
 	exec := &core.Execution{Init: init}
-	w, err := c.dfs(init, bound, inputs, exec)
+	w, err := c.dfs(c.cache.ID(init), init, bound, inputs, exec)
 	if err != nil {
 		out.err = err
 		return out

@@ -180,10 +180,23 @@ func ConstHorizon(h int) HorizonFunc { return valence.ConstHorizon(h) }
 // horizon for protocols deciding within `bound` layers.
 func DecreasingHorizon(bound, min int) HorizonFunc { return valence.DecreasingHorizon(bound, min) }
 
+// ErrNodeBudget is returned (wrapped) by Explore and ExploreParallel when
+// the node budget is exhausted; the partial graph explored so far is
+// returned alongside it.
+var ErrNodeBudget = core.ErrNodeBudget
+
 // Explore builds the reachable state graph of a model to the given depth;
-// maxNodes caps the node count (0 = unbounded).
+// maxNodes caps the node count (0 = unbounded). On budget exhaustion the
+// partial graph is returned together with a wrapped ErrNodeBudget.
 func Explore(m Model, depth, maxNodes int) (*Graph, error) {
 	return core.Explore(m, depth, maxNodes)
+}
+
+// ExploreParallel is Explore with successor enumeration sharded across
+// `workers` goroutines (workers <= 0 means GOMAXPROCS). The resulting graph
+// is bit-identical to Explore's: same node set, edge order, and depths.
+func ExploreParallel(m Model, depth, maxNodes, workers int) (*Graph, error) {
+	return core.ExploreParallel(m, depth, maxNodes, workers)
 }
 
 // Similar reports the paper's similarity relation x ~s y and its
