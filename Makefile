@@ -15,18 +15,21 @@ test:
 
 race:
 	$(GO) test -race ./internal/...
+	$(GO) test -race -run 'TestFieldPropertyMatchesOracle|TestCertifyGraphMatchesRecursive' ./internal/valence
 
 # tier1 is the gate every change must keep green: full build, vet, the
 # complete test suite (including the golden experiment outputs in the root
 # package), and the race detector over the internal packages that use
 # concurrency (parallel exploration, parallel certification, shared
-# successor caches).
+# successor caches, and the sharded valence-field sweep, whose randomized
+# property test is re-run explicitly above).
 tier1: build vet test race
 
-# bench regenerates BENCH_1.json from the E1–E11 experiment benchmarks and
-# the certifier benchmarks.
+# bench regenerates BENCH_2.json from the E1–E11 experiment benchmarks and
+# the certifier benchmarks, and prints the per-row delta against the
+# committed PR 1 baseline BENCH_1.json.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_1.json
+	$(GO) run ./cmd/bench -out BENCH_2.json -baseline BENCH_1.json
 
 clean:
 	$(GO) clean ./...

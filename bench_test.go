@@ -18,21 +18,28 @@ import (
 )
 
 // BenchmarkE1_InitialConnectivity — Lemma 3.6: Con_0 similarity
-// connectivity and existence of a bivalent initial state.
+// connectivity and existence of a bivalent initial state. Whole-graph row:
+// the graph is materialized once and each iteration rebuilds the
+// similarity structure (bucketed) and the valence field (one sweep).
 func BenchmarkE1_InitialConnectivity(b *testing.B) {
-	for _, n := range []int{3, 4, 5} {
+	for _, n := range []int{3, 4, 5, 6} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			p := protocols.FloodSet{Rounds: 2}
 			m := layers.MobileS1(p, n)
+			g, err := layers.ExploreIDParallel(m, 2, 0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				inits := m.Inits()
 				if _, conn := valence.SetSDiameter(inits); !conn {
 					b.Fatal("Con_0 not similarity connected")
 				}
-				o := layers.NewOracle(m)
+				f := layers.NewFieldParallel(g, 0)
 				found := false
-				for _, x := range inits {
-					if o.Bivalent(x, 2) {
+				for _, u := range g.Layer(0) {
+					if f.Bivalent(u) {
 						found = true
 						break
 					}
@@ -41,20 +48,28 @@ func BenchmarkE1_InitialConnectivity(b *testing.B) {
 					b.Fatal("no bivalent initial state")
 				}
 			}
+			b.ReportMetric(float64(g.Len()), "states")
 		})
 	}
 }
 
 // BenchmarkE2_MobileImpossibility — Lemma 5.1 + Corollary 5.2: layer
-// connectivity and refutation of consensus in M^mf.
+// connectivity and refutation of consensus in M^mf. Whole-graph row: the
+// CSR graph is materialized once; each iteration is a sweep-based
+// certification pass over it.
 func BenchmarkE2_MobileImpossibility(b *testing.B) {
-	for _, cfg := range []struct{ n, bound int }{{3, 2}, {3, 3}, {4, 2}} {
+	for _, cfg := range []struct{ n, bound int }{{3, 2}, {3, 3}, {4, 2}, {5, 2}} {
 		b.Run(fmt.Sprintf("n=%d/B=%d", cfg.n, cfg.bound), func(b *testing.B) {
 			p := protocols.FloodSet{Rounds: cfg.bound}
 			m := layers.MobileS1(p, cfg.n)
+			g, err := layers.ExploreIDParallel(m, cfg.bound, 0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			var explored int
 			for i := 0; i < b.N; i++ {
-				w, err := layers.Certify(m, cfg.bound, 0)
+				w, err := layers.CertifyGraph(g, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -74,22 +89,33 @@ func BenchmarkE3_ShmemSynchronic(b *testing.B) {
 	b.Run("layer-analysis/n=3", func(b *testing.B) {
 		p := protocols.SMVote{Phases: 2}
 		m := layers.SharedMemory(p, 3)
+		g, err := layers.ExploreIDParallel(m, 3, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			o := layers.NewOracle(m)
-			for _, x := range m.Inits() {
-				r := layers.AnalyzeLayer(m, o, x, 2)
+			f := layers.NewFieldParallel(g, 0)
+			for _, u := range g.Layer(0) {
+				r := f.AnalyzeNode(u)
 				if !r.ValenceConnected {
 					b.Fatal("S^rw layer not valence connected")
 				}
 			}
 		}
+		b.ReportMetric(float64(g.Len()), "states")
 	})
 	b.Run("certify/n=3/B=1", func(b *testing.B) {
 		p := protocols.SMVote{Phases: 1}
 		m := layers.SharedMemory(p, 3)
+		g, err := layers.ExploreIDParallel(m, 1, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
 		var explored int
 		for i := 0; i < b.N; i++ {
-			w, err := layers.Certify(m, 1, 0)
+			w, err := layers.CertifyGraph(g, 0)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -119,9 +145,14 @@ func BenchmarkE4_PermutationLayering(b *testing.B) {
 	b.Run("certify/n=3/B=1", func(b *testing.B) {
 		p := protocols.MPFlood{Phases: 1}
 		m := layers.AsyncMessagePassing(p, 3)
+		g, err := layers.ExploreIDParallel(m, 1, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
 		var explored int
 		for i := 0; i < b.N; i++ {
-			w, err := layers.Certify(m, 1, 0)
+			w, err := layers.CertifyGraph(g, 0)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -135,15 +166,22 @@ func BenchmarkE4_PermutationLayering(b *testing.B) {
 }
 
 // BenchmarkE5_SyncLowerBound — Corollary 6.3: FloodSet(t+1) certified,
-// FloodSet(t) refuted.
+// FloodSet(t) refuted. Whole-graph rows: the graph is materialized once
+// per configuration and each iteration is one sweep-based certification;
+// n=5 and n=6 were impractical under the per-state recursive engine.
 func BenchmarkE5_SyncLowerBound(b *testing.B) {
-	for _, cfg := range []struct{ n, t int }{{3, 1}, {4, 1}, {4, 2}} {
+	for _, cfg := range []struct{ n, t int }{{3, 1}, {4, 1}, {4, 2}, {5, 1}, {6, 1}} {
 		b.Run(fmt.Sprintf("certify/n=%d/t=%d", cfg.n, cfg.t), func(b *testing.B) {
 			p := protocols.FloodSet{Rounds: cfg.t + 1}
 			m := layers.SyncSt(p, cfg.n, cfg.t)
+			g, err := layers.ExploreIDParallel(m, cfg.t+1, 0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			var explored int
 			for i := 0; i < b.N; i++ {
-				w, err := layers.Certify(m, cfg.t+1, 0)
+				w, err := layers.CertifyGraph(g, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -157,9 +195,14 @@ func BenchmarkE5_SyncLowerBound(b *testing.B) {
 		b.Run(fmt.Sprintf("refute/n=%d/t=%d", cfg.n, cfg.t), func(b *testing.B) {
 			p := protocols.FloodSet{Rounds: cfg.t}
 			m := layers.SyncSt(p, cfg.n, cfg.t)
+			g, err := layers.ExploreIDParallel(m, cfg.t, 0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			var depth int
 			for i := 0; i < b.N; i++ {
-				w, err := layers.Certify(m, cfg.t, 0)
+				w, err := layers.CertifyGraph(g, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -174,29 +217,32 @@ func BenchmarkE5_SyncLowerBound(b *testing.B) {
 }
 
 // BenchmarkE6_FastUnivalence — Lemma 6.4: failure-free rounds after <= k
-// failures force univalence in a fast protocol.
+// failures force univalence in a fast protocol. Whole-graph row: one field
+// sweep per iteration answers every univalence query by mask lookup (the
+// failure-free action is the first CSR out-edge of every node).
 func BenchmarkE6_FastUnivalence(b *testing.B) {
 	for _, cfg := range []struct{ n, t int }{{3, 1}, {4, 2}} {
 		b.Run(fmt.Sprintf("n=%d/t=%d", cfg.n, cfg.t), func(b *testing.B) {
 			rounds := cfg.t + 1
 			p := protocols.FloodSet{Rounds: rounds}
 			m := layers.SyncSt(p, cfg.n, cfg.t)
-			g, err := layers.Explore(m, rounds-1, 0)
+			g, err := layers.ExploreIDParallel(m, rounds, 0, 0)
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				o := layers.NewOracle(m)
+				f := layers.NewFieldParallel(g, 0)
 				for d := 0; d < rounds; d++ {
-					for _, x := range g.StatesAtDepth(d) {
-						succs := m.Successors(x)
-						if _, ok := o.Univalent(succs[0].State, rounds-d-1); !ok {
+					for _, u := range g.Layer(d) {
+						ff := g.EdgeTo[g.EdgeStart[u]]
+						if mask := f.Mask(ff); mask != valence.V0 && mask != valence.V1 {
 							b.Fatal("failure-free successor not univalent")
 						}
 					}
 				}
 			}
+			b.ReportMetric(float64(g.Len()), "states")
 		})
 	}
 }
@@ -227,29 +273,47 @@ func BenchmarkE7_ThickConnectivity(b *testing.B) {
 }
 
 // BenchmarkE8_DiameterRecurrence — Lemma 7.6 / Theorem 7.7: measured
-// s-diameter growth against the recurrence bound.
+// s-diameter growth against the recurrence bound. Whole-graph row: layer
+// state sets and every S(x) are read off the CSR arrays of one
+// materialized graph; the similarity graphs are built with the bucketed
+// construction.
 func BenchmarkE8_DiameterRecurrence(b *testing.B) {
 	const n, t, depth = 3, 2, 2
 	p := protocols.FullInfo{}
 	m := layers.SyncSt(p, n, t)
-	g, err := layers.Explore(m, depth, 0)
+	g, err := layers.ExploreIDParallel(m, depth, 0, 0)
 	if err != nil {
 		b.Fatal(err)
+	}
+	layerStates := make([][]layers.State, depth+1)
+	for d := 0; d <= depth; d++ {
+		for _, u := range g.Layer(d) {
+			layerStates[d] = append(layerStates[d], g.States[u])
+		}
 	}
 	b.ResetTimer()
 	var measured int
 	for i := 0; i < b.N; i++ {
-		dPrev, _ := valence.SetSDiameter(g.StatesAtDepth(0))
+		dPrev, _ := valence.SetSDiameter(layerStates[0])
 		for d := 1; d <= depth; d++ {
 			dY := 0
-			for _, x := range g.StatesAtDepth(d - 1) {
-				states, _ := valence.Layer(m, x)
+			for _, u := range g.Layer(d - 1) {
+				// S(x) read off the CSR out-edges, deduplicated by node id.
+				seen := make(map[uint32]bool)
+				var states []layers.State
+				for e := g.EdgeStart[u]; e < g.EdgeStart[u+1]; e++ {
+					v := g.EdgeTo[e]
+					if !seen[v] {
+						seen[v] = true
+						states = append(states, g.States[v])
+					}
+				}
 				if ld, _ := valence.SetSDiameter(states); ld > dY {
 					dY = ld
 				}
 			}
 			bound := dPrev*dY + dPrev + dY
-			dCur, _ := valence.SetSDiameter(g.StatesAtDepth(d))
+			dCur, _ := valence.SetSDiameter(layerStates[d])
 			if dCur > bound {
 				b.Fatalf("depth %d: measured %d > bound %d", d, dCur, bound)
 			}
@@ -261,6 +325,7 @@ func BenchmarkE8_DiameterRecurrence(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(measured), "s-diameter")
+	b.ReportMetric(float64(g.Len()), "states")
 }
 
 // BenchmarkE9_Extensions — wasted faults, early decision, IIS subdivision.
@@ -268,24 +333,35 @@ func BenchmarkE9_Extensions(b *testing.B) {
 	b.Run("wasted-faults/n=4/t=2/c=2", func(b *testing.B) {
 		const n, tt, c, rounds = 4, 2, 2, 3
 		m := layers.SyncStMulti(protocols.FloodSet{Rounds: rounds}, n, tt, c)
+		g, err := layers.ExploreIDParallel(m, rounds, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			g, err := layers.Explore(m, rounds, 0)
-			if err != nil {
-				b.Fatal(err)
-			}
-			o := layers.NewOracle(m)
-			for d := 0; d <= rounds; d++ {
-				for _, x := range g.StatesAtDepth(d) {
-					o.Bivalent(x, rounds-d)
+			f := layers.NewFieldParallel(g, 0)
+			biv := 0
+			for u := 0; u < g.Len(); u++ {
+				if f.Bivalent(uint32(u)) {
+					biv++
 				}
 			}
+			if biv == 0 {
+				b.Fatal("no bivalent states")
+			}
 		}
+		b.ReportMetric(float64(g.Len()), "states")
 	})
 	b.Run("early-decision/n=4/t=2", func(b *testing.B) {
 		m := layers.SyncSt(layers.EarlyFloodSet{MaxRounds: 3}, 4, 2)
+		g, err := layers.ExploreIDParallel(m, 3, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
 		var explored int
 		for i := 0; i < b.N; i++ {
-			w, err := layers.Certify(m, 3, 0)
+			w, err := layers.CertifyGraph(g, 0)
 			if err != nil || w.Kind != layers.OK {
 				b.Fatal(err, w.Kind)
 			}
@@ -338,14 +414,17 @@ func BenchmarkE11_CommonKnowledge(b *testing.B) {
 	const n, tt = 3, 1
 	rounds := tt + 1
 	m := layers.SyncSt(layers.FloodSet{Rounds: rounds}, n, tt)
-	g, err := layers.Explore(m, rounds, 0)
+	g, err := layers.ExploreIDParallel(m, rounds, 0, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
-	states := g.StatesAtDepth(rounds)
+	states := make([]layers.State, 0, len(g.Layer(rounds)))
+	for _, u := range g.Layer(rounds) {
+		states = append(states, g.States[u])
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		classes := layers.NewKnowledgeClasses(states)
+		classes := layers.NewKnowledgeClassesLayer(g, rounds)
 		for _, x := range states {
 			v := -1
 			for p := 0; p < n; p++ {

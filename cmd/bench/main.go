@@ -8,6 +8,7 @@
 //
 //	bench                       # writes BENCH_1.json in the cwd
 //	bench -out results.json -benchtime 2x
+//	bench -out BENCH_2.json -baseline BENCH_1.json   # print deltas too
 package main
 
 import (
@@ -60,6 +61,7 @@ func run(args []string) error {
 	var (
 		out       = fs.String("out", "BENCH_1.json", "output JSON path")
 		benchtime = fs.String("benchtime", "1s", "go test -benchtime value")
+		baseline  = fs.String("baseline", "", "baseline JSON to print a side-by-side delta against")
 		verbose   = fs.Bool("v", false, "echo raw go test output")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -106,6 +108,54 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("bench: %d benchmarks -> %s\n", len(report.Benchmarks), *out)
+	if *baseline != "" {
+		if err := printDelta(*baseline, &report); err != nil {
+			return fmt.Errorf("baseline delta: %w", err)
+		}
+	}
+	return nil
+}
+
+// printDelta prints a side-by-side comparison of the fresh report against a
+// baseline JSON: ns/op and, where both rows carry it, states/sec. Rows only
+// present on one side are marked as new or dropped.
+func printDelta(path string, report *Report) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return err
+	}
+	type key struct{ pkg, name string }
+	old := make(map[key]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		old[key{r.Package, r.Name}] = r
+	}
+	fmt.Printf("\ndelta vs %s (%s):\n", path, base.Benchtime)
+	fmt.Printf("%-55s %14s %14s %9s %s\n", "benchmark", "old ns/op", "new ns/op", "speedup", "states/sec old -> new")
+	for _, r := range report.Benchmarks {
+		k := key{r.Package, r.Name}
+		b, ok := old[k]
+		if !ok {
+			fmt.Printf("%-55s %14s %14.0f %9s\n", r.Name, "(new)", r.NsPerOp, "-")
+			continue
+		}
+		delete(old, k)
+		speed := "-"
+		if r.NsPerOp > 0 && b.NsPerOp > 0 {
+			speed = fmt.Sprintf("%.2fx", b.NsPerOp/r.NsPerOp)
+		}
+		sps := ""
+		if b.StatesPerSec > 0 && r.StatesPerSec > 0 {
+			sps = fmt.Sprintf("%.0f -> %.0f (%.2fx)", b.StatesPerSec, r.StatesPerSec, r.StatesPerSec/b.StatesPerSec)
+		}
+		fmt.Printf("%-55s %14.0f %14.0f %9s %s\n", r.Name, b.NsPerOp, r.NsPerOp, speed, sps)
+	}
+	for k := range old {
+		fmt.Printf("%-55s (dropped)\n", k.name)
+	}
 	return nil
 }
 

@@ -71,10 +71,14 @@ func e1() error {
 		m := layers.MobileS1(layers.FloodSet{Rounds: 2}, n)
 		inits := m.Inits()
 		d, conn := valence.SetSDiameter(inits)
-		o := layers.NewOracle(m)
+		g, err := layers.ExploreIDParallel(m, 2, 0, 0)
+		if err != nil {
+			return err
+		}
+		f := layers.NewFieldParallel(g, 0)
 		found := false
-		for _, x := range inits {
-			if o.Bivalent(x, 2) {
+		for _, u := range g.Layer(0) {
+			if f.Bivalent(u) {
 				found = true
 				break
 			}
@@ -98,7 +102,7 @@ func e2() error {
 				simOK = false
 			}
 		}
-		w, err := layers.Certify(m, cfg.b, 0)
+		w, err := layers.CertifyFast(m, cfg.b, 0)
 		if err != nil {
 			return err
 		}
@@ -178,14 +182,14 @@ func e4() error {
 
 func e5() error {
 	fmt.Println("n  t  FloodSet(t+1)  visits  FloodSet(t)           witness-depth")
-	for _, cfg := range []struct{ n, t int }{{3, 1}, {4, 1}, {4, 2}, {5, 3}} {
+	for _, cfg := range []struct{ n, t int }{{3, 1}, {4, 1}, {4, 2}, {5, 3}, {6, 2}} {
 		good := layers.SyncSt(layers.FloodSet{Rounds: cfg.t + 1}, cfg.n, cfg.t)
-		wg, err := layers.Certify(good, cfg.t+1, 50_000_000)
+		wg, err := layers.CertifyFast(good, cfg.t+1, 50_000_000)
 		if err != nil {
 			return err
 		}
 		fast := layers.SyncSt(layers.FloodSet{Rounds: cfg.t}, cfg.n, cfg.t)
-		wf, err := layers.Certify(fast, cfg.t, 50_000_000)
+		wf, err := layers.CertifyFast(fast, cfg.t, 50_000_000)
 		if err != nil {
 			return err
 		}
@@ -383,12 +387,15 @@ func e11() error {
 	const n, tt = 3, 1
 	rounds := tt + 1
 	m := layers.SyncSt(layers.FloodSet{Rounds: rounds}, n, tt)
-	g, err := layers.Explore(m, rounds, 0)
+	g, err := layers.ExploreIDParallel(m, rounds, 0, 0)
 	if err != nil {
 		return err
 	}
-	states := g.StatesAtDepth(rounds)
-	classes := layers.NewKnowledgeClasses(states)
+	states := make([]layers.State, 0, len(g.Layer(rounds)))
+	for _, u := range g.Layer(rounds) {
+		states = append(states, g.States[u])
+	}
+	classes := layers.NewKnowledgeClassesLayer(g, rounds)
 	ck := 0
 	for _, x := range states {
 		v := -1

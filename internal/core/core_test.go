@@ -48,15 +48,25 @@ func TestExploreBudget(t *testing.T) {
 	if !errors.Is(err, core.ErrNodeBudget) {
 		t.Errorf("err = %v, want ErrNodeBudget", err)
 	}
-	if !errors.Is(err, core.ErrDepthExceeded) {
-		t.Errorf("err = %v, want the deprecated ErrDepthExceeded alias to match", err)
-	}
 	// The partial graph explored so far is returned alongside the error.
 	if g == nil || g.Len() != 10 {
 		t.Fatalf("partial graph = %v, want 10 nodes", g)
 	}
 	if len(g.InitKeys) != 1<<n {
 		t.Errorf("partial graph lost init keys: %d", len(g.InitKeys))
+	}
+}
+
+// TestErrDepthExceededAlias pins the deprecated alias for external users:
+// ErrDepthExceeded must remain the same error value as ErrNodeBudget so
+// that errors.Is works through either name.
+func TestErrDepthExceededAlias(t *testing.T) {
+	if core.ErrDepthExceeded != core.ErrNodeBudget {
+		t.Fatal("ErrDepthExceeded is no longer an alias of ErrNodeBudget")
+	}
+	if !errors.Is(core.ErrDepthExceeded, core.ErrNodeBudget) ||
+		!errors.Is(core.ErrNodeBudget, core.ErrDepthExceeded) {
+		t.Fatal("alias identity not symmetric under errors.Is")
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync"
 )
 
 // IDGraph is the dense-id form of an explored reachable state graph: nodes
@@ -34,12 +35,27 @@ type IDGraph struct {
 	// its enumeration work.
 	Cache *SuccessorCache
 
+	// ParentOf[u] is the node from which u was first discovered during the
+	// BFS (-1 for initial nodes); parentEdge[u] is the CSR index of that
+	// discovery edge, so EdgeAction[parentEdge[u]] labels the step. Because
+	// discovery is breadth-first in enumeration order, the parent chain of u
+	// is the lexicographically first shortest path from an initial state.
+	ParentOf   []int32
+	parentEdge []int32
+
 	// cacheIDs[u] is node u's id in Cache (not deterministic; a join key
 	// only).
 	cacheIDs []uint32
 	// layers[d] lists the nodes first reached at depth d, in discovery
 	// order.
 	layers [][]uint32
+
+	byKeyOnce   sync.Once
+	byKey       map[string]uint32
+	byCacheOnce sync.Once
+	byCache     map[uint32]uint32
+	gradedOnce  sync.Once
+	graded      bool
 }
 
 // Len returns the number of nodes.
@@ -64,12 +80,99 @@ func (g *IDGraph) Layer(d int) []uint32 {
 	return g.layers[d]
 }
 
+// NumLayers returns the number of non-empty depth layers; reverse sweeps
+// iterate d from NumLayers()-1 down to 0.
+func (g *IDGraph) NumLayers() int { return len(g.layers) }
+
+// Parent returns the node from which u was first discovered and the action
+// labeling that discovery edge. ok is false for initial nodes.
+func (g *IDGraph) Parent(u uint32) (p uint32, action string, ok bool) {
+	pi := g.ParentOf[u]
+	if pi < 0 {
+		return 0, "", false
+	}
+	return uint32(pi), g.EdgeAction[g.parentEdge[u]], true
+}
+
+// PathTo reconstructs the BFS-discovery execution reaching node u by
+// parent-pointer walkback: the lexicographically first shortest path from
+// an initial state, in successor-enumeration order.
+func (g *IDGraph) PathTo(u uint32) *Execution {
+	var steps []Step
+	for {
+		p, action, ok := g.Parent(u)
+		if !ok {
+			break
+		}
+		steps = append(steps, Step{Action: action, State: g.States[u]})
+		u = p
+	}
+	// The walk collected steps leaf-first; reverse in place.
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	return &Execution{Init: g.States[u], Steps: steps}
+}
+
+// NodeByKey returns the node with the given canonical key. The key index is
+// built lazily on first use and is safe for concurrent callers.
+func (g *IDGraph) NodeByKey(key string) (uint32, bool) {
+	g.byKeyOnce.Do(func() {
+		g.byKey = make(map[string]uint32, len(g.Keys))
+		for u, k := range g.Keys {
+			g.byKey[k] = uint32(u)
+		}
+	})
+	u, ok := g.byKey[key]
+	return u, ok
+}
+
+// NodeOfCacheID returns the node whose state has the given id in Cache.
+// Analyses memoized on cache ids (the valence Oracle) use this to join
+// against a materialized graph without hashing state keys.
+func (g *IDGraph) NodeOfCacheID(cid uint32) (uint32, bool) {
+	g.byCacheOnce.Do(func() {
+		g.byCache = make(map[uint32]uint32, len(g.cacheIDs))
+		for u, c := range g.cacheIDs {
+			g.byCache[c] = uint32(u)
+		}
+	})
+	u, ok := g.byCache[cid]
+	return u, ok
+}
+
+// Graded reports whether every recorded edge goes from a node at depth d to
+// a node at depth d+1. Models whose states carry a global round counter
+// (the synchronous families, IIS) always produce graded graphs; the
+// asynchronous families can produce same-depth shortcut edges at small n,
+// where one schedule reaches in one layer a state another schedule needs
+// two for. Graded graphs admit single-pass reverse-layer dynamic
+// programming; sweeps check this and fall back on the rest.
+func (g *IDGraph) Graded() bool {
+	g.gradedOnce.Do(func() {
+		g.graded = true
+		for u := range g.States {
+			d := g.DepthOf[u]
+			lo, hi := g.EdgeStart[u], g.EdgeStart[u+1]
+			for e := lo; e < hi; e++ {
+				if g.DepthOf[g.EdgeTo[e]] != d+1 {
+					g.graded = false
+					return
+				}
+			}
+		}
+	})
+	return g.graded
+}
+
 // addNode appends a node and returns its id.
 func (g *IDGraph) addNode(x State, key string, depth int, cacheID uint32) uint32 {
 	u := uint32(len(g.States))
 	g.States = append(g.States, x)
 	g.Keys = append(g.Keys, key)
 	g.DepthOf = append(g.DepthOf, int32(depth))
+	g.ParentOf = append(g.ParentOf, -1)
+	g.parentEdge = append(g.parentEdge, -1)
 	g.cacheIDs = append(g.cacheIDs, cacheID)
 	for len(g.layers) <= depth {
 		g.layers = append(g.layers, nil)
@@ -140,6 +243,8 @@ func exploreID(m Model, depth, maxNodes, workers int) (*IDGraph, error) {
 						return g, fmt.Errorf("at depth %d (%d nodes): %w", d+1, len(g.States), ErrNodeBudget)
 					}
 					v = g.addNode(succs[i].State, c.KeyOf(cid), d+1, cid)
+					g.ParentOf[v] = int32(u)
+					g.parentEdge[v] = int32(len(g.EdgeTo))
 					cacheToNode[cid] = v
 					next = append(next, v)
 				}

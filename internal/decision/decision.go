@@ -219,6 +219,69 @@ func CollectDecidedSimplexes(m core.Model, depth, maxNodes int) (map[string]simp
 	return out, nil
 }
 
+// CollectDecidedSimplexesGraph returns the distinct decided output
+// simplexes of fully-decided states in an already-materialized graph,
+// keyed by simplex Key — one pass over the CSR node array instead of a
+// fresh exploration.
+func CollectDecidedSimplexesGraph(g *core.IDGraph) map[string]simplex.Simplex {
+	out := make(map[string]simplex.Simplex)
+	for _, x := range g.States {
+		if s, ok := DecidedSimplex(x); ok && s.Size() > 0 {
+			out[s.Key()] = s
+		}
+	}
+	return out
+}
+
+// FieldValences computes the generalized valence mask of every node of an
+// explored graph in one bottom-up sweep, the covering analogue of
+// valence.NewField: masks[u] holds the OR over u's reachable closure (in
+// the explored graph) of the base masks assigned by the covering to
+// fully-decided states. On a graded graph (every edge advancing one
+// layer) masks[u] equals Oracle.Valences(g.States[u], g.Depth-depth(u))
+// exactly; otherwise the sweep falls back to a fixpoint loop and the mask
+// is the valence within the explored graph.
+func FieldValences(g *core.IDGraph, cover Covering) []uint8 {
+	masks := make([]uint8, g.Len())
+	base := func(u uint32) uint8 {
+		var m uint8
+		if s, decided := DecidedSimplex(g.States[u]); decided {
+			if cover.O0.Has(s) {
+				m |= v0
+			}
+			if cover.O1.Has(s) {
+				m |= v1
+			}
+		}
+		return m
+	}
+	relax := func(u uint32) uint8 {
+		m := base(u)
+		for e := g.EdgeStart[u]; e < g.EdgeStart[u+1] && m != v0|v1; e++ {
+			m |= masks[g.EdgeTo[e]]
+		}
+		return m
+	}
+	if g.Graded() {
+		for d := g.NumLayers() - 1; d >= 0; d-- {
+			for _, u := range g.Layer(d) {
+				masks[u] = relax(u)
+			}
+		}
+		return masks
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := g.Len() - 1; u >= 0; u-- {
+			if m := relax(uint32(u)) | masks[u]; m != masks[u] {
+				masks[u] = m
+				changed = true
+			}
+		}
+	}
+	return masks
+}
+
 // CheckCovering verifies the two covering conditions against a set of
 // decided output simplexes: every simplex is in O_0 ∪ O_1, and each O_v
 // contains at least one of them. It returns false with a reason otherwise.

@@ -180,6 +180,72 @@ func TestDiameterBoundRecurrence(t *testing.T) {
 	}
 }
 
+// TestFieldValencesMatchOracle pins the whole-graph generalized-valence
+// sweep to the recursive oracle: on graded graphs (both where agreement
+// holds, with the consensus covering, and where it breaks, with the
+// min-value covering built from the graph's own decided simplexes), every
+// node's swept mask must equal Valences at the node's remaining horizon.
+func TestFieldValencesMatchOracle(t *testing.T) {
+	cases := []struct {
+		name  string
+		m     core.Model
+		depth int
+		cover func(g *core.IDGraph, n int) decision.Covering
+	}{
+		{"syncst-consensus", syncmp.NewSt(protocols.FloodSet{Rounds: 2}, 3, 1), 2,
+			func(_ *core.IDGraph, n int) decision.Covering { return decision.ConsensusCovering(n) }},
+		{"mobile-minvalue", mobile.New(protocols.FloodSet{Rounds: 2}, 3), 2,
+			func(g *core.IDGraph, _ int) decision.Covering {
+				return decision.MinValueCovering(decision.CollectDecidedSimplexesGraph(g))
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := core.ExploreID(tc.m, tc.depth, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.Graded() {
+				t.Fatal("expected a graded graph")
+			}
+			cover := tc.cover(g, g.States[0].N())
+			masks := decision.FieldValences(g, cover)
+			o := decision.NewOracle(tc.m, cover)
+			for u := 0; u < g.Len(); u++ {
+				h := g.Depth - int(g.DepthOf[u])
+				if got, want := masks[u], o.Valences(g.States[u], h); got != want {
+					t.Fatalf("node %d (depth %d): field %02b != oracle %02b",
+						u, g.DepthOf[u], got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCollectDecidedSimplexesGraph checks the graph-backed collection
+// returns exactly the exploration-backed one.
+func TestCollectDecidedSimplexesGraph(t *testing.T) {
+	const n, rounds = 3, 2
+	m := mobile.New(protocols.FloodSet{Rounds: rounds}, n)
+	want, err := decision.CollectDecidedSimplexes(m, rounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.ExploreID(m, rounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decision.CollectDecidedSimplexesGraph(g)
+	if len(got) != len(want) {
+		t.Fatalf("%d simplexes != %d", len(got), len(want))
+	}
+	for k := range want {
+		if _, ok := got[k]; !ok {
+			t.Errorf("missing simplex %s", k)
+		}
+	}
+}
+
 // TestLemma76MeasuredDiameters measures the s-diameter growth of the S^t
 // reachable sets (full-information protocol, the strongest instance) and
 // checks the Lemma 7.6 recurrence bound d_{m+1} <= d_m*dY + d_m + dY with

@@ -18,6 +18,8 @@ package knowledge
 
 import (
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -35,6 +37,12 @@ type Classes struct {
 // NewClasses computes the common-knowledge partition of the given states.
 // Two states are linked when some process, non-failed in both, has the
 // same local state in both.
+//
+// Rather than testing all pairs, states are bucketed by (process i, n,
+// Local(i)) over the processes non-failed in them: every pair inside a
+// bucket is linked, and no link exists outside a bucket, so unioning each
+// bucket's members into a chain yields exactly the pairwise partition in
+// near-linear time.
 func NewClasses(states []core.State) *Classes {
 	c := &Classes{
 		states: states,
@@ -44,31 +52,39 @@ func NewClasses(states []core.State) *Classes {
 	for i, x := range states {
 		c.index[x.Key()] = i
 	}
-	for a := 0; a < len(states); a++ {
-		for b := a + 1; b < len(states); b++ {
-			if indistinguishableToSomeone(states[a], states[b]) {
-				c.uf.Union(a, b)
+	buckets := make(map[string]int, len(states))
+	var b strings.Builder
+	for idx, x := range states {
+		for i := 0; i < x.N(); i++ {
+			if x.FailedAt(i) {
+				continue
+			}
+			b.Reset()
+			b.WriteString(strconv.Itoa(i))
+			b.WriteByte('\x1f')
+			b.WriteString(strconv.Itoa(x.N()))
+			b.WriteByte('\x1f')
+			b.WriteString(x.Local(i))
+			key := b.String()
+			if first, seen := buckets[key]; seen {
+				c.uf.Union(first, idx)
+			} else {
+				buckets[key] = idx
 			}
 		}
 	}
 	return c
 }
 
-// indistinguishableToSomeone reports whether some process non-failed in
-// both states has equal local states in both.
-func indistinguishableToSomeone(x, y core.State) bool {
-	if x.N() != y.N() {
-		return false
+// NewClassesLayer computes the common-knowledge partition of one depth
+// layer of a materialized state graph, in discovery order.
+func NewClassesLayer(g *core.IDGraph, d int) *Classes {
+	layer := g.Layer(d)
+	states := make([]core.State, len(layer))
+	for i, u := range layer {
+		states[i] = g.States[u]
 	}
-	for i := 0; i < x.N(); i++ {
-		if x.FailedAt(i) || y.FailedAt(i) {
-			continue
-		}
-		if x.Local(i) == y.Local(i) {
-			return true
-		}
-	}
-	return false
+	return NewClasses(states)
 }
 
 // SameClass reports whether two states (by key) are in the same
@@ -113,6 +129,25 @@ func (c *Classes) Class(xKey string) []string {
 		}
 	}
 	sort.Strings(out)
+	return out
+}
+
+// ClassValence folds a valence field over the partition: masks[i] is the
+// valence mask of states[i] (as produced by valence.Field over the layer's
+// nodes, in the same order), and the result assigns every state the OR of
+// the masks across its whole common-knowledge class. Before the decision
+// round a class containing a bivalent state spreads both valence bits to
+// every member — the executable form of "the decided value is not yet
+// common knowledge".
+func (c *Classes) ClassValence(masks []uint8) []uint8 {
+	classMask := make(map[int]uint8, c.uf.Sets())
+	for i := range c.states {
+		classMask[c.uf.Find(i)] |= masks[i]
+	}
+	out := make([]uint8, len(c.states))
+	for i := range c.states {
+		out[i] = classMask[c.uf.Find(i)]
+	}
 	return out
 }
 

@@ -82,12 +82,65 @@ func BenchmarkCertify(b *testing.B) {
 		b.Run(fmt.Sprintf("floodset/n=%d/t=%d", cfg.n, cfg.t), func(b *testing.B) {
 			m := syncmp.NewSt(protocols.FloodSet{Rounds: cfg.t + 1}, cfg.n, cfg.t)
 			b.ReportAllocs()
+			var explored int
 			for i := 0; i < b.N; i++ {
 				w, err := valence.Certify(m, cfg.t+1, 0)
 				if err != nil || w.Kind != valence.OK {
 					b.Fatal(err, w.Kind)
 				}
+				explored = w.Explored
 			}
+			b.ReportMetric(float64(explored), "states")
+		})
+	}
+}
+
+// BenchmarkCertifyGraph is the sweep-based certifier over a pre-built CSR
+// graph — the steady-state cost of re-certifying once the state graph is
+// materialized (the recursive rows above pay successor enumeration and
+// string-key memo lookups on every run). n=6 was impractical before.
+func BenchmarkCertifyGraph(b *testing.B) {
+	for _, cfg := range []struct{ n, t int }{{3, 1}, {4, 2}, {5, 1}, {6, 1}} {
+		b.Run(fmt.Sprintf("floodset/n=%d/t=%d", cfg.n, cfg.t), func(b *testing.B) {
+			m := syncmp.NewSt(protocols.FloodSet{Rounds: cfg.t + 1}, cfg.n, cfg.t)
+			g, err := core.ExploreIDParallel(m, cfg.t+1, 0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var explored int
+			for i := 0; i < b.N; i++ {
+				w, err := valence.CertifyGraph(g, 0)
+				if err != nil || w.Kind != valence.OK {
+					b.Fatal(err, w.Kind)
+				}
+				explored = w.Explored
+			}
+			b.ReportMetric(float64(explored), "states")
+		})
+	}
+}
+
+// BenchmarkField is the whole-graph valence sweep itself: every node's
+// mask in one pass over the CSR arrays.
+func BenchmarkField(b *testing.B) {
+	for _, cfg := range []struct{ n, t int }{{4, 2}, {6, 1}} {
+		b.Run(fmt.Sprintf("floodset/n=%d/t=%d", cfg.n, cfg.t), func(b *testing.B) {
+			m := syncmp.NewSt(protocols.FloodSet{Rounds: cfg.t + 1}, cfg.n, cfg.t)
+			g, err := core.ExploreIDParallel(m, cfg.t+1, 0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f := valence.NewField(g)
+				if f.Len() != g.Len() {
+					b.Fatal("field size mismatch")
+				}
+			}
+			b.ReportMetric(float64(g.Len()), "states")
 		})
 	}
 }

@@ -1,0 +1,184 @@
+package valence
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ErrNotGraded is returned by CertifyGraph when the graph has an edge that
+// does not go from depth d to depth d+1. On such graphs the certifier's
+// per-node visited bitsets would not be equivalent to the recursive
+// (state, remaining-depth) memo; use Certify instead.
+var ErrNotGraded = errors.New("valence: graph is not graded")
+
+// CertifyGraph certifies the consensus requirements over a fully explored
+// state graph in one forward pass: agreement and validity on nodes,
+// write-once stability on edges, and decision on the deepest layer, exactly
+// as Certify does over bound = g.Depth layers. Instead of re-enumerating
+// successors per state with a map[...(id, depth, inputs)]bool memo, it
+// walks the CSR arrays with one visited bitset per input mask (on a graded
+// graph a node's remaining depth is determined by its id, so (node, inputs)
+// is the whole memo key). The witness execution is reconstructed from the
+// DFS stack only when a violation is found.
+//
+// Roots are scanned in Inits order and edges in enumeration order — the
+// same search order as Certify — so the verdict, witness execution, and
+// Explored count are bit-for-bit identical to the recursive certifier's.
+// g must be explored with no node budget; maxVisits bounds the total
+// number of node visits across all roots (0 = no bound).
+func CertifyGraph(g *core.IDGraph, maxVisits int) (*Witness, error) {
+	if !g.Graded() {
+		return nil, ErrNotGraded
+	}
+	c := &graphCertifier{g: g, maxVisits: maxVisits, visited: make(map[uint64][]uint64)}
+	for _, r := range g.Inits {
+		w, err := c.run(r)
+		if err != nil {
+			return nil, err
+		}
+		if w != nil {
+			w.Explored = c.visits
+			return w, nil
+		}
+	}
+	return &Witness{Kind: OK, Explored: c.visits}, nil
+}
+
+// CertifyFast is Certify through the graph-backed engine: it materializes
+// the model's state graph to `bound` layers (deterministically, drawing on
+// the model's shared successor cache) and runs CertifyGraph over it,
+// falling back to the recursive Certify when the explored graph is not
+// graded. Verdict and witness are identical to Certify's; the difference
+// is that the whole graph is explored up front rather than lazily, which
+// is faster for certifications that visit most of it.
+func CertifyFast(m core.Model, bound, maxVisits int) (*Witness, error) {
+	g, err := core.ExploreIDParallel(m, bound, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	w, err := CertifyGraph(g, maxVisits)
+	if errors.Is(err, ErrNotGraded) {
+		return Certify(m, bound, maxVisits)
+	}
+	return w, err
+}
+
+// gframe is one DFS stack entry: a node being expanded, the CSR edge it was
+// entered through (-1 for the root), and the cursor of its next out-edge.
+type gframe struct {
+	node uint32
+	via  int32
+	next uint32
+}
+
+type graphCertifier struct {
+	g         *core.IDGraph
+	maxVisits int
+	visits    int
+	// visited[inputs] is the per-input-mask node bitset replacing the
+	// recursive certifier's map[certMemoKey]bool.
+	visited map[uint64][]uint64
+	bs      []uint64
+	root    uint32
+	stack   []gframe
+}
+
+// run certifies the subgraph reachable from one root.
+func (c *graphCertifier) run(root uint32) (*Witness, error) {
+	g := c.g
+	inputs := inputMask(g.States[root])
+	bs := c.visited[inputs]
+	if bs == nil {
+		bs = make([]uint64, (g.Len()+63)/64)
+		c.visited[inputs] = bs
+	}
+	c.bs = bs
+	c.root = root
+	c.stack = c.stack[:0]
+
+	if c.seen(root) {
+		return nil, nil
+	}
+	if w, err := c.enter(root, -1, inputs); w != nil || err != nil {
+		return w, err
+	}
+	if int(g.DepthOf[root]) >= g.Depth {
+		return nil, nil
+	}
+	c.stack = append(c.stack, gframe{node: root, via: -1, next: g.EdgeStart[root]})
+	for len(c.stack) > 0 {
+		top := &c.stack[len(c.stack)-1]
+		u := top.node
+		if top.next == g.EdgeStart[u+1] {
+			c.stack = c.stack[:len(c.stack)-1]
+			continue
+		}
+		e := top.next
+		top.next++
+		v := g.EdgeTo[e]
+		if w := checkWriteOnce(g.States[u], g.States[v]); w != nil {
+			w.Exec = c.execTo(int32(e))
+			w.Detail = fmt.Sprintf("%s (action %s)", w.Detail, g.EdgeAction[e])
+			return w, nil
+		}
+		if c.seen(v) {
+			continue
+		}
+		if w, err := c.enter(v, int32(e), inputs); w != nil || err != nil {
+			return w, err
+		}
+		if int(g.DepthOf[v]) < g.Depth {
+			c.stack = append(c.stack, gframe{node: v, via: int32(e), next: g.EdgeStart[v]})
+		}
+	}
+	return nil, nil
+}
+
+// enter performs the first (and only) visit of a node: mark it, count it,
+// and check the state-local requirements — agreement and validity always,
+// decision when the node sits at the bound.
+func (c *graphCertifier) enter(v uint32, via int32, inputs uint64) (*Witness, error) {
+	c.mark(v)
+	c.visits++
+	if c.maxVisits > 0 && c.visits > c.maxVisits {
+		return nil, fmt.Errorf("after %d visits: %w", c.visits, ErrBudget)
+	}
+	if w := checkState(c.g.States[v], inputs); w != nil {
+		w.Exec = c.execTo(via)
+		return w, nil
+	}
+	if int(c.g.DepthOf[v]) >= c.g.Depth && !core.AllDecided(c.g.States[v]) {
+		return &Witness{
+			Kind:   UndecidedAtBound,
+			Exec:   c.execTo(via),
+			Detail: fmt.Sprintf("a non-failed process is undecided after %d layers", c.g.Depth),
+		}, nil
+	}
+	return nil, nil
+}
+
+// execTo rebuilds the execution from the current root along the DFS stack,
+// extended by finalEdge when >= 0. Called only on violation.
+func (c *graphCertifier) execTo(finalEdge int32) *core.Execution {
+	g := c.g
+	steps := make([]core.Step, 0, len(c.stack)+1)
+	for _, f := range c.stack {
+		if f.via >= 0 {
+			steps = append(steps, core.Step{Action: g.EdgeAction[f.via], State: g.States[f.node]})
+		}
+	}
+	if finalEdge >= 0 {
+		steps = append(steps, core.Step{Action: g.EdgeAction[finalEdge], State: g.States[g.EdgeTo[finalEdge]]})
+	}
+	return &core.Execution{Init: g.States[c.root], Steps: steps}
+}
+
+func (c *graphCertifier) seen(u uint32) bool {
+	return c.bs[u>>6]&(1<<(u&63)) != 0
+}
+
+func (c *graphCertifier) mark(u uint32) {
+	c.bs[u>>6] |= 1 << (u & 63)
+}

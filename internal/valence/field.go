@@ -1,0 +1,290 @@
+package valence
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Field is the whole-graph form of the valence Oracle: the valence mask of
+// every node of a materialized IDGraph, computed bottom-up in O(V+E) by one
+// reverse-layer dynamic-programming sweep —
+//
+//	mask[u] = decidedBits(u) | OR over CSR out-edges of children masks
+//
+// — and stored in a flat []uint8 indexed by node id. No maps, no recursion.
+// For a graph explored to depth B, Mask(u) equals
+// Oracle.Valences(state(u), B-depth(u)): the residual exploration depth is
+// exactly the valence horizon at u, so one field answers every per-layer
+// valence question the experiments ask (the DecreasingHorizon(B, 0)
+// schedule) without re-walking overlapping futures.
+//
+// The per-layer OR-propagation is sharded across workers. On graded graphs
+// (every edge goes depth d -> d+1) a node's mask depends only on the
+// already-finished deeper layer, so the parallel write order cannot change
+// the result — the field is deterministic and bit-identical across worker
+// counts. Graphs that are not graded — the asynchronous families can
+// produce same-depth shortcut edges at small n, and hand-built graphs can
+// do anything — fall back to serial reverse sweeps iterated to fixpoint
+// (masks grow monotonically under OR, so the iteration converges); there
+// the mask means "valence within the explored graph": the OR of decided
+// bits over every reachable recorded node.
+type Field struct {
+	g     *core.IDGraph
+	masks []uint8
+}
+
+// fieldShardMin is the minimum number of layer nodes per worker shard worth
+// a goroutine; below it the per-layer sweep runs serially.
+const fieldShardMin = 256
+
+// NewField computes the valence field of g with a serial sweep.
+func NewField(g *core.IDGraph) *Field { return NewFieldParallel(g, 1) }
+
+// NewFieldParallel computes the valence field of g with each layer's
+// OR-propagation sharded across workers goroutines (workers <= 0 means
+// GOMAXPROCS). The result is bit-identical for every worker count.
+func NewFieldParallel(g *core.IDGraph, workers int) *Field {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	f := &Field{g: g, masks: make([]uint8, g.Len())}
+	if g.Graded() {
+		for d := g.NumLayers() - 1; d >= 0; d-- {
+			f.sweepLayer(g.Layer(d), workers)
+		}
+		return f
+	}
+	for {
+		changed := false
+		for u := g.Len() - 1; u >= 0; u-- {
+			if m := f.nodeMask(uint32(u)) | f.masks[u]; m != f.masks[u] {
+				f.masks[u] = m
+				changed = true
+			}
+		}
+		if !changed {
+			return f
+		}
+	}
+}
+
+// sweepLayer computes the masks of one finished-children layer, sharding
+// across workers when the layer is large enough to pay for goroutines.
+func (f *Field) sweepLayer(layer []uint32, workers int) {
+	if max := len(layer) / fieldShardMin; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		f.sweepRange(layer)
+		return
+	}
+	shard := (len(layer) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(layer); lo += shard {
+		hi := lo + shard
+		if hi > len(layer) {
+			hi = len(layer)
+		}
+		wg.Add(1)
+		go func(part []uint32) {
+			defer wg.Done()
+			f.sweepRange(part)
+		}(layer[lo:hi])
+	}
+	wg.Wait()
+}
+
+// sweepRange computes the masks of a slice of same-layer nodes. Each node's
+// mask is written by exactly one worker and reads only deeper-layer masks,
+// so concurrent shards never touch the same index.
+func (f *Field) sweepRange(part []uint32) {
+	g := f.g
+	for _, u := range part {
+		m := uint8(core.DecidedValues(g.States[u]) & 0b11)
+		lo, hi := g.EdgeStart[u], g.EdgeStart[u+1]
+		for e := lo; e < hi && m != V0|V1; e++ {
+			m |= f.masks[g.EdgeTo[e]]
+		}
+		f.masks[u] = m
+	}
+}
+
+// nodeMask is the non-graded fallback's transfer function: decided bits OR
+// all recorded children masks.
+func (f *Field) nodeMask(u uint32) uint8 {
+	g := f.g
+	m := uint8(core.DecidedValues(g.States[u]) & 0b11)
+	lo, hi := g.EdgeStart[u], g.EdgeStart[u+1]
+	for e := lo; e < hi && m != V0|V1; e++ {
+		m |= f.masks[g.EdgeTo[e]]
+	}
+	return m
+}
+
+// Graph returns the underlying graph.
+func (f *Field) Graph() *core.IDGraph { return f.g }
+
+// Len returns the number of nodes.
+func (f *Field) Len() int { return len(f.masks) }
+
+// Mask returns node u's valence mask.
+func (f *Field) Mask(u uint32) uint8 { return f.masks[u] }
+
+// Masks returns the whole mask array, indexed by node id (shared; callers
+// must not modify).
+func (f *Field) Masks() []uint8 { return f.masks }
+
+// Horizon returns the valence horizon at node u: the residual exploration
+// depth B - depth(u) that Mask(u) is exact for (on graded graphs).
+func (f *Field) Horizon(u uint32) int { return f.g.Depth - int(f.g.DepthOf[u]) }
+
+// Bivalent reports whether node u is bivalent within its residual horizon.
+func (f *Field) Bivalent(u uint32) bool { return f.masks[u] == V0|V1 }
+
+// MaskOf returns the mask of the node holding state x, if x is in the
+// graph.
+func (f *Field) MaskOf(x core.State) (uint8, bool) {
+	u, ok := f.g.NodeByKey(x.Key())
+	if !ok {
+		return 0, false
+	}
+	return f.masks[u], true
+}
+
+// LayerMasks returns the masks of depth-d nodes in discovery order (a fresh
+// slice), ready for ValenceConnected.
+func (f *Field) LayerMasks(d int) []uint8 {
+	layer := f.g.Layer(d)
+	out := make([]uint8, len(layer))
+	for i, u := range layer {
+		out[i] = f.masks[u]
+	}
+	return out
+}
+
+// Width classifies every node's valence into a WidthProfile by reading the
+// field — the whole-graph replacement for BivalenceWidth with the exact
+// DecreasingHorizon(B, 0) schedule.
+func (f *Field) Width() *WidthProfile {
+	nl := f.g.NumLayers()
+	p := &WidthProfile{
+		States:     make([]int, nl),
+		Bivalent:   make([]int, nl),
+		Univalent0: make([]int, nl),
+		Univalent1: make([]int, nl),
+		Null:       make([]int, nl),
+	}
+	for u, m := range f.masks {
+		d := f.g.DepthOf[u]
+		p.States[d]++
+		switch m {
+		case V0 | V1:
+			p.Bivalent[d]++
+		case V0:
+			p.Univalent0[d]++
+		case V1:
+			p.Univalent1[d]++
+		default:
+			p.Null[d]++
+		}
+	}
+	return p
+}
+
+// AnalyzeNode is the field-backed AnalyzeLayer: the layer report of S(x)
+// for the state at node u, with successor states read off the CSR edges and
+// valences read off the field instead of per-state Oracle calls.
+func (f *Field) AnalyzeNode(u uint32) *LayerReport {
+	g := f.g
+	r := &LayerReport{}
+	actions, to := g.Out(u)
+	index := make(map[uint32]int, len(to))
+	var nodes []uint32
+	for i, v := range to {
+		j, seen := index[v]
+		if !seen {
+			j = len(r.States)
+			index[v] = j
+			nodes = append(nodes, v)
+			r.States = append(r.States, g.States[v])
+			r.Actions = append(r.Actions, nil)
+		}
+		r.Actions[j] = append(r.Actions[j], actions[i])
+	}
+
+	sg := SimilarityGraph(r.States)
+	r.SimilarityConnected = sg.Connected()
+	r.SimilarityComponents = len(sg.Components())
+	r.SDiameter, _ = sg.Diameter()
+
+	r.Valences = make([]uint8, len(nodes))
+	for i, v := range nodes {
+		r.Valences[i] = f.masks[v]
+		switch r.Valences[i] {
+		case V0 | V1:
+			r.BivalentIdx = append(r.BivalentIdx, i)
+		case 0:
+			r.NullValentIdx = append(r.NullValentIdx, i)
+		}
+	}
+	r.ValenceConnected = ValenceConnected(r.Valences)
+	return r
+}
+
+// BivalentChain runs the Lemma 4.1 chain construction over the field:
+// starting from the first bivalent initial node, extend by the first
+// bivalent CSR successor at every step. Valences are the field's — horizon
+// B-d at depth d, the DecreasingHorizon(B, 0) schedule — so target must be
+// at most the graph's depth. Like the Oracle-backed BivalentChain, a layer
+// with no bivalent successor stops the construction and attaches that
+// layer's report as the diagnostic.
+func (f *Field) BivalentChain(target int) (*Chain, error) {
+	g := f.g
+	if target > g.Depth {
+		return nil, fmt.Errorf("valence: chain target %d exceeds graph depth %d", target, g.Depth)
+	}
+	var u uint32
+	found := false
+	for _, r := range g.Inits {
+		if f.Bivalent(r) {
+			u, found = r, true
+			break
+		}
+	}
+	if !found {
+		return nil, ErrNoBivalentInit
+	}
+	exec := &core.Execution{Init: g.States[u]}
+	for d := 0; d < target; d++ {
+		actions, to := g.Out(u)
+		found = false
+		for i, v := range to {
+			if f.Bivalent(v) {
+				exec = exec.Extend(actions[i], g.States[v])
+				u, found = v, true
+				break
+			}
+		}
+		if !found {
+			return &Chain{Exec: exec, Reached: d, Stuck: f.AnalyzeNode(u)}, nil
+		}
+	}
+	return &Chain{Exec: exec, Reached: target}, nil
+}
+
+// BivalentAtBound scans layer d in discovery order for a bivalent node —
+// bivalent within the residual horizon B-d — and returns the first one
+// together with the execution reaching it, reconstructed by parent-pointer
+// walkback. A bivalent state at a claimed decision bound is the Lemma 3.2
+// refutation witness that decision has not occurred by layer d.
+func (f *Field) BivalentAtBound(d int) (u uint32, exec *core.Execution, ok bool) {
+	for _, v := range f.g.Layer(d) {
+		if f.Bivalent(v) {
+			return v, f.g.PathTo(v), true
+		}
+	}
+	return 0, nil, false
+}

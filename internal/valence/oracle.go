@@ -38,6 +38,18 @@ const (
 type Oracle struct {
 	cache *core.SuccessorCache
 	memo  map[memoKey]uint8
+	// Bivalence is monotone in the horizon: a state bivalent within h is
+	// bivalent within every h' >= h (its h-futures are a subset of its
+	// h'-futures). bivSet is a per-id bitset of states known bivalent at
+	// some horizon, bivMin[id] the smallest such horizon; together they
+	// answer larger-horizon queries before the (id, horizon) map is even
+	// consulted, so re-analyses across a horizon schedule stop growing the
+	// memo for bivalent states.
+	bivSet []uint64
+	bivMin []int32
+	// field, when set, resolves queries for states of a materialized graph
+	// directly from the whole-graph valence field.
+	field *Field
 }
 
 type memoKey struct {
@@ -61,6 +73,14 @@ func (o *Oracle) Valences(x core.State, horizon int) uint8 {
 }
 
 func (o *Oracle) valences(id uint32, x core.State, horizon int) uint8 {
+	if o.bivalentShortcut(id, horizon) {
+		return V0 | V1
+	}
+	if o.field != nil {
+		if m, ok := o.fieldLookup(id, horizon); ok {
+			return m
+		}
+	}
 	k := memoKey{id: id, horizon: int32(horizon)}
 	if v, ok := o.memo[k]; ok {
 		return v
@@ -76,7 +96,73 @@ func (o *Oracle) valences(id uint32, x core.State, horizon int) uint8 {
 		}
 	}
 	o.memo[k] = mask
+	if mask == V0|V1 {
+		o.markBivalent(id, horizon)
+	}
 	return mask
+}
+
+// UseField registers a materialized valence field as a fast path: Valences
+// queries for states of the field's graph are answered from the field when
+// the horizon matches the node's residual depth exactly, or when
+// monotonicity decides them (field mask bivalent and queried horizon at
+// least the field's; field mask null and queried horizon at most it). The
+// lazy recursive path remains for everything else. The field's graph must
+// share the oracle's successor cache and be graded; otherwise the call is
+// a no-op.
+func (o *Oracle) UseField(f *Field) {
+	if f == nil || f.g.Cache != o.cache || !f.g.Graded() {
+		return
+	}
+	o.field = f
+}
+
+// fieldLookup answers a query from the registered field when it can do so
+// exactly. Bivalent field nodes also feed the monotonicity bitset.
+func (o *Oracle) fieldLookup(id uint32, horizon int) (uint8, bool) {
+	u, ok := o.field.g.NodeOfCacheID(id)
+	if !ok {
+		return 0, false
+	}
+	fh := o.field.Horizon(u)
+	m := o.field.masks[u]
+	if m == V0|V1 {
+		o.markBivalent(id, fh)
+	}
+	switch {
+	case horizon == fh:
+		return m, true
+	case m == V0|V1 && horizon >= fh:
+		return V0 | V1, true
+	case m == 0 && horizon <= fh:
+		// No decision reachable within fh layers, so none within fewer.
+		return 0, true
+	}
+	return 0, false
+}
+
+// bivalentShortcut reports whether id is already known bivalent at a
+// horizon no larger than the queried one.
+func (o *Oracle) bivalentShortcut(id uint32, horizon int) bool {
+	w := int(id >> 6)
+	return w < len(o.bivSet) && o.bivSet[w]&(1<<(id&63)) != 0 &&
+		int32(horizon) >= o.bivMin[id]
+}
+
+// markBivalent records that id is bivalent within the given horizon.
+func (o *Oracle) markBivalent(id uint32, horizon int) {
+	for uint32(len(o.bivMin)) <= id {
+		o.bivMin = append(o.bivMin, -1)
+	}
+	w := int(id >> 6)
+	for len(o.bivSet) <= w {
+		o.bivSet = append(o.bivSet, 0)
+	}
+	bit := uint64(1) << (id & 63)
+	if o.bivSet[w]&bit == 0 || int32(horizon) < o.bivMin[id] {
+		o.bivSet[w] |= bit
+		o.bivMin[id] = int32(horizon)
+	}
 }
 
 // Bivalent reports whether x is bivalent within the horizon.

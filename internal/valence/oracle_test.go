@@ -163,6 +163,70 @@ func TestCheckBivalentUndecided(t *testing.T) {
 	}
 }
 
+// TestOracleBivalentMonotonicityShrinksMemo exercises the bivalence
+// shortcut across the E5 horizon schedule: certifying at a ladder of
+// growing horizons (as the round-lower-bound experiment does when
+// re-analyzing with larger bounds) must answer states already known
+// bivalent from the per-id bitset instead of adding new (id, horizon) memo
+// entries — one oracle across the schedule ends smaller than the sum of
+// fresh per-horizon oracles, and answers must not change.
+func TestOracleBivalentMonotonicityShrinksMemo(t *testing.T) {
+	// FloodSet decides at round 2, so bivalence of the mixed-input inits
+	// becomes visible at horizon 2; the schedule then grows past it.
+	const n, tf, lo, hi = 4, 2, 2, 4
+	m := syncmp.NewSt(protocols.FloodSet{Rounds: 2}, n, tf)
+	inits := m.Inits()
+
+	perHorizon := 0
+	for h := lo; h <= hi; h++ {
+		o := valence.NewOracle(m)
+		for _, x := range inits {
+			o.Valences(x, h)
+		}
+		perHorizon += o.MemoLen()
+	}
+
+	o := valence.NewOracle(m)
+	for h := lo; h <= hi; h++ {
+		for _, x := range inits {
+			o.Valences(x, h)
+		}
+	}
+	if o.MemoLen() >= perHorizon {
+		t.Fatalf("schedule memo %d not smaller than per-horizon sum %d", o.MemoLen(), perHorizon)
+	}
+
+	for h := lo; h <= hi; h++ {
+		ref := valence.NewOracle(m)
+		for _, x := range inits {
+			if got, want := o.Valences(x, h), ref.Valences(x, h); got != want {
+				t.Fatalf("horizon %d: %02b != %02b for %s", h, got, want, x.Key())
+			}
+		}
+	}
+}
+
+// TestOracleMemoGrowthAcrossSchedule pins the saving at its source: once a
+// state is known bivalent at some horizon, querying it at every larger
+// horizon adds no memo entries at all.
+func TestOracleMemoGrowthAcrossSchedule(t *testing.T) {
+	m := syncmp.NewSt(protocols.FloodSet{Rounds: 2}, 3, 1)
+	init := m.Initial([]int{0, 1, 1})
+	o := valence.NewOracle(m)
+	if !o.Bivalent(init, 2) {
+		t.Fatal("mixed-input initial state should be bivalent at horizon 2")
+	}
+	before := o.MemoLen()
+	for h := 3; h <= 7; h++ {
+		if !o.Bivalent(init, h) {
+			t.Fatalf("monotonicity violated at horizon %d", h)
+		}
+	}
+	if got := o.MemoLen(); got != before {
+		t.Errorf("larger-horizon queries grew the memo: %d -> %d", before, got)
+	}
+}
+
 func TestWitnessKindStrings(t *testing.T) {
 	want := map[valence.WitnessKind]string{
 		valence.OK:                 "ok",

@@ -30,6 +30,7 @@ import (
 	"repro/internal/asyncmp"
 	"repro/internal/core"
 	"repro/internal/iis"
+	"repro/internal/knowledge"
 	"repro/internal/mobile"
 	"repro/internal/proto"
 	"repro/internal/shmem"
@@ -197,6 +198,61 @@ func Explore(m Model, depth, maxNodes int) (*Graph, error) {
 // is bit-identical to Explore's: same node set, edge order, and depths.
 func ExploreParallel(m Model, depth, maxNodes, workers int) (*Graph, error) {
 	return core.ExploreParallel(m, depth, maxNodes, workers)
+}
+
+// IDGraph is the interned CSR state graph: dense uint32 node ids, flat
+// edge arrays, per-depth layers, and parent pointers for witness walkback.
+type IDGraph = core.IDGraph
+
+// Field is the whole-graph valence field: the valence mask of every node
+// of an explored IDGraph, computed in one bottom-up O(V+E) sweep.
+type Field = valence.Field
+
+// ExploreID builds the interned CSR state graph of a model to the given
+// depth; maxNodes caps the node count (0 = unbounded).
+func ExploreID(m Model, depth, maxNodes int) (*IDGraph, error) {
+	return core.ExploreID(m, depth, maxNodes)
+}
+
+// ExploreIDParallel is ExploreID with successor enumeration sharded across
+// `workers` goroutines (workers <= 0 means GOMAXPROCS); the graph is
+// bit-identical to ExploreID's.
+func ExploreIDParallel(m Model, depth, maxNodes, workers int) (*IDGraph, error) {
+	return core.ExploreIDParallel(m, depth, maxNodes, workers)
+}
+
+// NewField computes the valence field of an explored graph: every node's
+// mask in one deepest-first sweep, no recursion, no maps.
+func NewField(g *IDGraph) *Field { return valence.NewField(g) }
+
+// NewFieldParallel is NewField with each layer's OR-propagation sharded
+// across `workers` goroutines; the result is bit-identical.
+func NewFieldParallel(g *IDGraph, workers int) *Field { return valence.NewFieldParallel(g, workers) }
+
+// ErrNotGraded is returned by CertifyGraph for graphs with same-depth
+// shortcut edges (which the asynchronous models produce at small n).
+var ErrNotGraded = valence.ErrNotGraded
+
+// CertifyGraph certifies consensus by one forward pass over an already
+// materialized graph, with per-(node, input-mask) visited bitsets instead
+// of the recursive certifier's memo map. The witness is identical to
+// Certify's bit for bit. Graded graphs only (ErrNotGraded otherwise).
+func CertifyGraph(g *IDGraph, maxVisits int) (*Witness, error) {
+	return valence.CertifyGraph(g, maxVisits)
+}
+
+// CertifyFast is Certify through the graph-backed engine: it explores the
+// model's IDGraph in parallel and runs CertifyGraph, falling back to the
+// recursive certifier for non-graded graphs. The witness is identical to
+// Certify's.
+func CertifyFast(m Model, bound, maxVisits int) (*Witness, error) {
+	return valence.CertifyFast(m, bound, maxVisits)
+}
+
+// NewKnowledgeClassesLayer computes the common-knowledge partition of one
+// depth layer of a materialized graph, in discovery order.
+func NewKnowledgeClassesLayer(g *IDGraph, d int) *KnowledgeClasses {
+	return knowledge.NewClassesLayer(g, d)
 }
 
 // Similar reports the paper's similarity relation x ~s y and its
