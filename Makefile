@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race vet bench clean
+.PHONY: all build test tier1 race vet bench profile clean
 
 all: tier1
 
@@ -16,6 +16,7 @@ test:
 race:
 	$(GO) test -race ./internal/...
 	$(GO) test -race -run 'TestFieldPropertyMatchesOracle|TestCertifyGraphMatchesRecursive' ./internal/valence
+	$(GO) test -race ./internal/obs ./internal/cli
 
 # tier1 is the gate every change must keep green: full build, vet, the
 # complete test suite (including the golden experiment outputs in the root
@@ -30,6 +31,13 @@ tier1: build vet test race
 # committed PR 1 baseline BENCH_1.json.
 bench:
 	$(GO) run ./cmd/bench -out BENCH_2.json -baseline BENCH_1.json
+
+# profile reruns the benchmark suites with CPU/heap profiling enabled and
+# leaves the profiles, test binaries, and a BENCH json under profiles/.
+# Inspect with: go tool pprof profiles/bench_root.test profiles/cpu_root.prof
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/bench -out profiles/BENCH_profile.json -profiledir profiles
 
 clean:
 	$(GO) clean ./...

@@ -49,6 +49,7 @@ func BenchmarkE1_InitialConnectivity(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(g.Len()), "states")
+			b.ReportMetric(g.Cache.Stats().HitRate()*100, "cache-hit-%")
 		})
 	}
 }
@@ -79,6 +80,7 @@ func BenchmarkE2_MobileImpossibility(b *testing.B) {
 				explored = w.Explored
 			}
 			b.ReportMetric(float64(explored), "states")
+			b.ReportMetric(g.Cache.Stats().HitRate()*100, "cache-hit-%")
 		})
 	}
 }
@@ -191,6 +193,7 @@ func BenchmarkE5_SyncLowerBound(b *testing.B) {
 				explored = w.Explored
 			}
 			b.ReportMetric(float64(explored), "states")
+			b.ReportMetric(g.Cache.Stats().HitRate()*100, "cache-hit-%")
 		})
 		b.Run(fmt.Sprintf("refute/n=%d/t=%d", cfg.n, cfg.t), func(b *testing.B) {
 			p := protocols.FloodSet{Rounds: cfg.t}
@@ -212,6 +215,7 @@ func BenchmarkE5_SyncLowerBound(b *testing.B) {
 				depth = w.Exec.Len()
 			}
 			b.ReportMetric(float64(depth), "witness-layers")
+			b.ReportMetric(g.Cache.Stats().HitRate()*100, "cache-hit-%")
 		})
 	}
 }

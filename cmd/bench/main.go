@@ -9,6 +9,7 @@
 //	bench                       # writes BENCH_1.json in the cwd
 //	bench -out results.json -benchtime 2x
 //	bench -out BENCH_2.json -baseline BENCH_1.json   # print deltas too
+//	bench -profiledir profiles  # also write cpu/mem profiles per suite
 package main
 
 import (
@@ -19,9 +20,13 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/cli"
 )
 
 // Result is one benchmark measurement.
@@ -59,13 +64,25 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		out       = fs.String("out", "BENCH_1.json", "output JSON path")
-		benchtime = fs.String("benchtime", "1s", "go test -benchtime value")
-		baseline  = fs.String("baseline", "", "baseline JSON to print a side-by-side delta against")
-		verbose   = fs.Bool("v", false, "echo raw go test output")
+		out        = fs.String("out", "BENCH_1.json", "output JSON path")
+		benchtime  = fs.String("benchtime", "1s", "go test -benchtime value")
+		baseline   = fs.String("baseline", "", "baseline JSON to print a side-by-side delta against")
+		verbose    = fs.Bool("v", false, "echo raw go test output")
+		profiledir = fs.String("profiledir", "", "write per-suite cpu/mem profiles and test binaries into `dir`")
 	)
+	obsFlags := cli.RegisterObs(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	stopObs, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer stopObs()
+	if *profiledir != "" {
+		if err := os.MkdirAll(*profiledir, 0o755); err != nil {
+			return err
+		}
 	}
 
 	suites := []struct {
@@ -81,8 +98,22 @@ func run(args []string) error {
 		Benchtime:  *benchtime,
 	}
 	for _, s := range suites {
-		cmd := exec.Command("go", "test", "-run", "^$",
-			"-bench", s.pattern, "-benchmem", "-benchtime", *benchtime, s.pkg)
+		testArgs := []string{"test", "-run", "^$",
+			"-bench", s.pattern, "-benchmem", "-benchtime", *benchtime}
+		if *profiledir != "" {
+			// Profiling keeps the test binary next to the profiles so
+			// `go tool pprof <binary> <profile>` resolves symbols.
+			slug := strings.ReplaceAll(strings.TrimPrefix(s.pkg, "repro"), "/", "_")
+			if slug == "" {
+				slug = "_root"
+			}
+			testArgs = append(testArgs,
+				"-cpuprofile", filepath.Join(*profiledir, "cpu"+slug+".prof"),
+				"-memprofile", filepath.Join(*profiledir, "mem"+slug+".prof"),
+				"-o", filepath.Join(*profiledir, "bench"+slug+".test"))
+		}
+		testArgs = append(testArgs, s.pkg)
+		cmd := exec.Command("go", testArgs...)
 		var buf bytes.Buffer
 		cmd.Stdout = &buf
 		cmd.Stderr = os.Stderr
@@ -117,8 +148,9 @@ func run(args []string) error {
 }
 
 // printDelta prints a side-by-side comparison of the fresh report against a
-// baseline JSON: ns/op and, where both rows carry it, states/sec. Rows only
-// present on one side are marked as new or dropped.
+// baseline JSON: ns/op, states/sec where both rows carry it, and every
+// custom counter-snapshot metric (e.g. cache-hit-%) present on both sides.
+// Rows only present on one side are marked as new or dropped.
 func printDelta(path string, report *Report) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -152,11 +184,37 @@ func printDelta(path string, report *Report) error {
 			sps = fmt.Sprintf("%.0f -> %.0f (%.2fx)", b.StatesPerSec, r.StatesPerSec, r.StatesPerSec/b.StatesPerSec)
 		}
 		fmt.Printf("%-55s %14.0f %14.0f %9s %s\n", r.Name, b.NsPerOp, r.NsPerOp, speed, sps)
+		if extras := formatExtraDelta(b.Extra, r.Extra); extras != "" {
+			fmt.Printf("%-55s %s\n", "", extras)
+		}
 	}
 	for k := range old {
 		fmt.Printf("%-55s (dropped)\n", k.name)
 	}
 	return nil
+}
+
+// formatExtraDelta renders "unit: old -> new" for every custom metric both
+// rows report, sorted by unit name. Metrics on only one side are skipped —
+// a baseline from before a metric existed should not flag every row.
+func formatExtraDelta(old, new map[string]float64) string {
+	var units []string
+	for u := range new {
+		if _, ok := old[u]; ok {
+			units = append(units, u)
+		}
+	}
+	sort.Strings(units)
+	var parts []string
+	for _, u := range units {
+		ov, nv := old[u], new[u]
+		if ov == nv {
+			parts = append(parts, fmt.Sprintf("%s: %.4g (=)", u, nv))
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s: %.4g -> %.4g", u, ov, nv))
+	}
+	return strings.Join(parts, "  ")
 }
 
 // parseBench extracts Result rows from `go test -bench` output. Benchmark

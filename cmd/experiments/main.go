@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	experiments            # run everything
-//	experiments -only E5   # run one experiment
+//	experiments                          # run everything
+//	experiments -only E5                 # run one experiment
+//	experiments -stats -journal run.jsonl  # with engine counters + event journal
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	layers "repro"
+	"repro/internal/cli"
 	"repro/internal/decision"
 	"repro/internal/protocols"
 	"repro/internal/tasks"
@@ -32,9 +34,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	only := fs.String("only", "", "run a single experiment (E1..E11)")
+	obsFlags := cli.RegisterObs(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopObs, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	all := []struct {
 		id  string
 		fn  func() error
@@ -183,13 +191,16 @@ func e4() error {
 func e5() error {
 	fmt.Println("n  t  FloodSet(t+1)  visits  FloodSet(t)           witness-depth")
 	for _, cfg := range []struct{ n, t int }{{3, 1}, {4, 1}, {4, 2}, {5, 3}, {6, 2}} {
-		good := layers.SyncSt(layers.FloodSet{Rounds: cfg.t + 1}, cfg.n, cfg.t)
-		wg, err := layers.CertifyFast(good, cfg.t+1, 50_000_000)
+		// The t-round protocol is refuted first and the t+1-round one
+		// certified second, so a -journal run's final certify.done event
+		// carries the Explored count this table prints.
+		fast := layers.SyncSt(layers.FloodSet{Rounds: cfg.t}, cfg.n, cfg.t)
+		wf, err := layers.CertifyFast(fast, cfg.t, 50_000_000)
 		if err != nil {
 			return err
 		}
-		fast := layers.SyncSt(layers.FloodSet{Rounds: cfg.t}, cfg.n, cfg.t)
-		wf, err := layers.CertifyFast(fast, cfg.t, 50_000_000)
+		good := layers.SyncSt(layers.FloodSet{Rounds: cfg.t + 1}, cfg.n, cfg.t)
+		wg, err := layers.CertifyFast(good, cfg.t+1, 50_000_000)
 		if err != nil {
 			return err
 		}

@@ -37,9 +37,15 @@ func run(args []string) error {
 		runs  = fs.Int("runs", 100, "random runs per initial state")
 		seed  = fs.Int64("seed", 1, "base RNG seed")
 	)
+	obsFlags := cli.RegisterObs(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopObs, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	m, err := cli.Build(cli.Spec{Model: *model, N: *n, T: *t, Bound: *bound})
 	if err != nil {
 		return err

@@ -38,9 +38,15 @@ func run(args []string, out *os.File) error {
 		depth = fs.Int("depth", 2, "exploration depth (layers)")
 		max   = fs.Int("max", 200, "max nodes rendered (0 = all)")
 	)
+	obsFlags := cli.RegisterObs(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopObs, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	m, err := cli.Build(cli.Spec{Model: *model, N: *n, T: *t, Bound: *bound})
 	if err != nil {
 		return err

@@ -105,6 +105,23 @@ func (g *Graph) StatesAtDepth(d int) []State {
 // Len returns the number of distinct states in the graph.
 func (g *Graph) Len() int { return len(g.Nodes) }
 
+// ReachedDepth returns the deepest layer actually populated: Depth for a
+// completed exploration with states at every layer, and the depth the
+// search got to before the node budget ran out for a partial graph
+// returned alongside ErrNodeBudget. -1 for an empty graph.
+func (g *Graph) ReachedDepth() int {
+	if g.dense != nil {
+		return g.dense.ReachedDepth()
+	}
+	max := -1
+	for _, d := range g.DepthOf {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
 // CheckDeterminism verifies that the model's successor function is
 // deterministic on every explored state: a second invocation returns the
 // same labeled successors in the same order. Admissibility (the paper's

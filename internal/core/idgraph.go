@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // IDGraph is the dense-id form of an explored reachable state graph: nodes
@@ -83,6 +85,12 @@ func (g *IDGraph) Layer(d int) []uint32 {
 // NumLayers returns the number of non-empty depth layers; reverse sweeps
 // iterate d from NumLayers()-1 down to 0.
 func (g *IDGraph) NumLayers() int { return len(g.layers) }
+
+// ReachedDepth returns the deepest layer actually populated — equal to
+// Depth for a completed exploration that found states at every layer, and
+// the depth the search got to before the node budget ran out for a partial
+// graph returned alongside ErrNodeBudget. -1 for an empty graph.
+func (g *IDGraph) ReachedDepth() int { return len(g.layers) - 1 }
 
 // Parent returns the node from which u was first discovered and the action
 // labeling that discovery edge. ok is false for initial nodes.
@@ -213,6 +221,8 @@ func ExploreIDParallel(m Model, depth, maxNodes, workers int) (*IDGraph, error) 
 }
 
 func exploreID(m Model, depth, maxNodes, workers int) (*IDGraph, error) {
+	rec := obs.Active()
+	defer obs.Span(rec, "explore.time")()
 	c := CacheOf(m)
 	g := &IDGraph{Depth: depth, Cache: c, EdgeStart: []uint32{0}}
 	cacheToNode := make(map[uint32]uint32)
@@ -227,10 +237,21 @@ func exploreID(m Model, depth, maxNodes, workers int) (*IDGraph, error) {
 		g.Inits = append(g.Inits, u)
 		frontier = append(frontier, u)
 	}
+	if rec != nil {
+		rec.Add("explore.runs", 1)
+		rec.Add("explore.nodes", int64(len(frontier)))
+		rec.Event("explore.start",
+			obs.F{Key: "model", Value: m.Name()},
+			obs.F{Key: "depth", Value: depth},
+			obs.F{Key: "max_nodes", Value: maxNodes},
+			obs.F{Key: "workers", Value: workers},
+			obs.F{Key: "inits", Value: len(frontier)})
+	}
 	for d := 0; d < depth && len(frontier) > 0; d++ {
 		if workers > 1 {
 			warmFrontier(c, g, frontier, workers)
 		}
+		edgesBefore := len(g.EdgeTo)
 		var next []uint32
 		for _, u := range frontier {
 			succs, sids := c.SuccessorsOf(g.cacheIDs[u], g.States[u])
@@ -240,7 +261,8 @@ func exploreID(m Model, depth, maxNodes, workers int) (*IDGraph, error) {
 				if !seen {
 					if maxNodes > 0 && len(g.States) >= maxNodes {
 						g.padEdgeStart()
-						return g, fmt.Errorf("at depth %d (%d nodes): %w", d+1, len(g.States), ErrNodeBudget)
+						g.finishExplore(rec, true)
+						return g, fmt.Errorf("at depth %d (%d nodes): %w", g.ReachedDepth(), len(g.States), ErrNodeBudget)
 					}
 					v = g.addNode(succs[i].State, c.KeyOf(cid), d+1, cid)
 					g.ParentOf[v] = int32(u)
@@ -253,10 +275,53 @@ func exploreID(m Model, depth, maxNodes, workers int) (*IDGraph, error) {
 			}
 			g.EdgeStart = append(g.EdgeStart, uint32(len(g.EdgeTo)))
 		}
+		if rec != nil {
+			rec.Add("explore.nodes", int64(len(next)))
+			rec.Add("explore.edges", int64(len(g.EdgeTo)-edgesBefore))
+			rec.Set("explore.frontier", int64(len(next)))
+			headroom := int64(-1)
+			if maxNodes > 0 {
+				headroom = int64(maxNodes - len(g.States))
+			}
+			rec.Event("explore.depth",
+				obs.F{Key: "depth", Value: d + 1},
+				obs.F{Key: "frontier", Value: len(next)},
+				obs.F{Key: "nodes", Value: len(g.States)},
+				obs.F{Key: "edges", Value: len(g.EdgeTo)},
+				obs.F{Key: "budget_headroom", Value: headroom})
+		}
 		frontier = next
 	}
 	g.padEdgeStart()
+	g.finishExplore(rec, false)
 	return g, nil
+}
+
+// finishExplore publishes the exploration's final counters — including the
+// shared successor cache's hit/fill/interned-bytes view — and emits the
+// closing journal event. budgetHit marks a partial graph returned with
+// ErrNodeBudget; the event then carries the depth actually reached so the
+// journal explains how far the search got.
+func (g *IDGraph) finishExplore(rec obs.Recorder, budgetHit bool) {
+	if rec == nil {
+		return
+	}
+	st := g.Cache.Stats()
+	rec.Set("cache.states", int64(st.States))
+	rec.Set("cache.hits", st.Hits)
+	rec.Set("cache.enumerations", int64(st.Enumerations))
+	rec.Set("cache.interned_bytes", int64(st.InternedBytes))
+	name, fields := "explore.done", []obs.F{
+		{Key: "nodes", Value: g.Len()},
+		{Key: "edges", Value: g.NumEdges()},
+		{Key: "reached_depth", Value: g.ReachedDepth()},
+		{Key: "depth_bound", Value: g.Depth},
+	}
+	if budgetHit {
+		rec.Add("explore.budget_hits", 1)
+		name = "explore.budget"
+	}
+	rec.Event(name, fields...)
 }
 
 // warmFrontier enumerates the successors of a frontier's nodes into the

@@ -8,8 +8,9 @@ package core
 // A KeyIndex is not safe for concurrent use; callers that share one across
 // goroutines (SuccessorCache) provide their own locking.
 type KeyIndex struct {
-	ids  map[string]uint32
-	keys []string
+	ids   map[string]uint32
+	keys  []string
+	bytes int
 }
 
 // NewKeyIndex returns an empty index. sizeHint pre-sizes the table (0 is
@@ -27,6 +28,7 @@ func (ix *KeyIndex) Intern(key string) (id uint32, fresh bool) {
 	id = uint32(len(ix.keys))
 	ix.ids[key] = id
 	ix.keys = append(ix.keys, key)
+	ix.bytes += len(key)
 	return id, true
 }
 
@@ -42,3 +44,7 @@ func (ix *KeyIndex) Key(id uint32) string { return ix.keys[id] }
 
 // Len returns the number of interned keys.
 func (ix *KeyIndex) Len() int { return len(ix.keys) }
+
+// Bytes returns the total size of the interned key strings, in bytes —
+// the memory the index pins beyond its table overhead.
+func (ix *KeyIndex) Bytes() int { return ix.bytes }

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // SuccessorCache is a shared, id-keyed successor memo. It interns every
 // state it sees (by canonical Key) into a dense uint32 id via a KeyIndex and
@@ -24,6 +27,10 @@ type SuccessorCache struct {
 	idx     *KeyIndex
 	entries []*cacheEntry
 	enums   int
+	// hits counts memoized successor lookups served without enumeration.
+	// It is atomic (not guarded by mu) so the read-locked fast path can
+	// count without upgrading to a write lock.
+	hits int64
 }
 
 type cacheEntry struct {
@@ -108,6 +115,7 @@ func (c *SuccessorCache) SuccessorsOf(id uint32, x State) (succs []Succ, ids []u
 	done, succs, ids := e.done, e.succs, e.ids
 	c.mu.RUnlock()
 	if done {
+		atomic.AddInt64(&c.hits, 1)
 		return succs, ids
 	}
 	// Enumerate outside the lock; a concurrent duplicate enumeration is
@@ -158,4 +166,39 @@ func (c *SuccessorCache) Enumerations() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.enums
+}
+
+// CacheStats is a point-in-time view of a successor cache's effectiveness.
+type CacheStats struct {
+	// States is the number of distinct states interned.
+	States int
+	// Hits counts memoized successor lookups served without enumeration.
+	Hits int64
+	// Enumerations counts raw successor enumerations performed (the fill
+	// side of the hit/miss ledger).
+	Enumerations int
+	// InternedBytes is the total size of the interned key strings.
+	InternedBytes int
+}
+
+// HitRate returns hits / (hits + enumerations) in [0, 1], or 0 before any
+// lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + int64(s.Enumerations)
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns the cache's current counters.
+func (c *SuccessorCache) Stats() CacheStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return CacheStats{
+		States:        c.idx.Len(),
+		Hits:          atomic.LoadInt64(&c.hits),
+		Enumerations:  c.enums,
+		InternedBytes: c.idx.Bytes(),
+	}
 }

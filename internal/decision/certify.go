@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/simplex"
 	"repro/internal/valence"
 )
@@ -55,6 +56,8 @@ type TaskWitness struct {
 // The initial states must expose their inputs (core.Input). maxVisits caps
 // the search (0 = unbounded).
 func CertifyTask(m core.Model, inits []core.State, delta simplex.DeltaFunc, bound, maxVisits int) (*TaskWitness, error) {
+	rec := obs.Active()
+	defer obs.Span(rec, "certify.task.time")()
 	c := &taskCertifier{
 		m:         m,
 		delta:     delta,
@@ -83,10 +86,28 @@ func CertifyTask(m core.Model, inits []core.State, delta simplex.DeltaFunc, boun
 		}
 		if w != nil {
 			w.Explored = c.visits
+			c.finish(rec, w)
 			return w, nil
 		}
 	}
-	return &TaskWitness{Kind: TaskOK, Explored: c.visits}, nil
+	w := &TaskWitness{Kind: TaskOK, Explored: c.visits}
+	c.finish(rec, w)
+	return w, nil
+}
+
+// finish publishes the task certification's counters and emits
+// certify.task.done, the task analogue of the consensus certifiers'
+// certify.done event.
+func (c *taskCertifier) finish(rec obs.Recorder, w *TaskWitness) {
+	if rec == nil {
+		return
+	}
+	rec.Add("certify.task.runs", 1)
+	rec.Add("certify.task.visits", int64(c.visits))
+	rec.Event("certify.task.done",
+		obs.F{Key: "verdict", Value: w.Kind.String()},
+		obs.F{Key: "explored", Value: w.Explored},
+		obs.F{Key: "memo", Value: len(c.memo)})
 }
 
 type taskCertifier struct {

@@ -8,6 +8,7 @@ import (
 	"errors"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/simplex"
 )
 
@@ -230,6 +231,11 @@ func CollectDecidedSimplexesGraph(g *core.IDGraph) map[string]simplex.Simplex {
 			out[s.Key()] = s
 		}
 	}
+	if rec := obs.Active(); rec != nil {
+		rec.Add("decision.collect.runs", 1)
+		rec.Add("decision.collect.states", int64(g.Len()))
+		rec.Set("decision.collect.simplexes", int64(len(out)))
+	}
 	return out
 }
 
@@ -242,6 +248,12 @@ func CollectDecidedSimplexesGraph(g *core.IDGraph) map[string]simplex.Simplex {
 // exactly; otherwise the sweep falls back to a fixpoint loop and the mask
 // is the valence within the explored graph.
 func FieldValences(g *core.IDGraph, cover Covering) []uint8 {
+	rec := obs.Active()
+	defer obs.Span(rec, "decision.field.time")()
+	if rec != nil {
+		rec.Add("decision.field.sweeps", 1)
+		rec.Add("decision.field.nodes", int64(g.Len()))
+	}
 	masks := make([]uint8, g.Len())
 	base := func(u uint32) uint8 {
 		var m uint8

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Classes partitions states into common-knowledge classes: connected
@@ -44,6 +45,8 @@ type Classes struct {
 // bucket's members into a chain yields exactly the pairwise partition in
 // near-linear time.
 func NewClasses(states []core.State) *Classes {
+	rec := obs.Active()
+	defer obs.Span(rec, "knowledge.classes.time")()
 	c := &Classes{
 		states: states,
 		uf:     graph.NewUnionFind(len(states)),
@@ -52,6 +55,7 @@ func NewClasses(states []core.State) *Classes {
 	for i, x := range states {
 		c.index[x.Key()] = i
 	}
+	links := 0
 	buckets := make(map[string]int, len(states))
 	var b strings.Builder
 	for idx, x := range states {
@@ -68,10 +72,17 @@ func NewClasses(states []core.State) *Classes {
 			key := b.String()
 			if first, seen := buckets[key]; seen {
 				c.uf.Union(first, idx)
+				links++
 			} else {
 				buckets[key] = idx
 			}
 		}
+	}
+	if rec != nil {
+		rec.Add("knowledge.partitions", 1)
+		rec.Add("knowledge.states", int64(len(states)))
+		rec.Add("knowledge.links", int64(links))
+		rec.Set("knowledge.classes", int64(c.uf.Sets()))
 	}
 	return c
 }

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Journal writes a structured run-event stream as JSON Lines: one object
+// per event with a sequence number, a monotonic timestamp (nanoseconds
+// since the journal was opened — wall-clock adjustments cannot reorder
+// it), the event's fields, and a snapshot of the recorder's counters and
+// gauges at emission time. Lines are written under a mutex, so a Journal
+// is safe for concurrent emitters.
+type Journal struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+	seq   int64
+	err   error
+}
+
+// eventJSON is the serialized form of one journal line.
+type eventJSON struct {
+	Event    string           `json:"event"`
+	Seq      int64            `json:"seq"`
+	TsNs     int64            `json:"ts_ns"`
+	Fields   map[string]any   `json:"fields,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// NewJournal returns a journal writing to w. The caller owns w's lifetime
+// (the journal never closes it).
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: w, start: time.Now()}
+}
+
+// Emit writes one event line. Write errors are sticky: the first one is
+// retained (see Err) and later emissions become no-ops, so instrumented
+// code never has to handle journal failures inline.
+func (j *Journal) Emit(name string, fields []F, counters map[string]int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	ev := eventJSON{
+		Event:    name,
+		Seq:      j.seq,
+		TsNs:     time.Since(j.start).Nanoseconds(),
+		Counters: counters,
+	}
+	if len(fields) > 0 {
+		ev.Fields = make(map[string]any, len(fields))
+		for _, f := range fields {
+			ev.Fields[f.Key] = f.Value
+		}
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		j.err = err
+		return
+	}
+	data = append(data, '\n')
+	if _, err := j.w.Write(data); err != nil {
+		j.err = err
+		return
+	}
+	j.seq++
+}
+
+// Err returns the first write or marshal error, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Len returns the number of events successfully written.
+func (j *Journal) Len() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}

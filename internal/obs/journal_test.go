@@ -1,0 +1,88 @@
+package obs_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// journalLine mirrors the serialized event shape for decoding in tests.
+type journalLine struct {
+	Event    string           `json:"event"`
+	Seq      int64            `json:"seq"`
+	TsNs     int64            `json:"ts_ns"`
+	Fields   map[string]any   `json:"fields"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+func TestJournalJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	m := obs.NewMetrics()
+	m.SetJournal(obs.NewJournal(&buf))
+
+	m.Add("explore.nodes", 12)
+	m.Event("explore.start", obs.F{Key: "depth", Value: 3})
+	m.Add("explore.nodes", 8)
+	m.Event("explore.done", obs.F{Key: "nodes", Value: 20}, obs.F{Key: "ok", Value: true})
+
+	var lines []journalLine
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var l journalLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("unparseable journal line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if lines[0].Event != "explore.start" || lines[0].Seq != 0 {
+		t.Errorf("first line = %+v", lines[0])
+	}
+	if lines[0].Fields["depth"] != float64(3) {
+		t.Errorf("fields = %v", lines[0].Fields)
+	}
+	if lines[0].Counters["explore.nodes"] != 12 {
+		t.Errorf("first snapshot counters = %v", lines[0].Counters)
+	}
+	if lines[1].Counters["explore.nodes"] != 20 {
+		t.Errorf("second snapshot counters = %v", lines[1].Counters)
+	}
+	if lines[1].Seq != 1 {
+		t.Errorf("seq = %d, want 1", lines[1].Seq)
+	}
+	// Timestamps are monotonic non-decreasing.
+	if lines[1].TsNs < lines[0].TsNs {
+		t.Errorf("timestamps went backwards: %d then %d", lines[0].TsNs, lines[1].TsNs)
+	}
+}
+
+func TestEventWithoutJournalIsDropped(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Event("certify.done", obs.F{Key: "explored", Value: 1}) // must not panic
+	if m.Counter("certify.done") != 0 {
+		t.Error("events must not create counters")
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f failWriter) Write(p []byte) (int, error) { return 0, f.err }
+
+func TestJournalStickyError(t *testing.T) {
+	wantErr := errors.New("disk full")
+	j := obs.NewJournal(failWriter{err: wantErr})
+	j.Emit("a", nil, nil)
+	j.Emit("b", nil, nil)
+	if !errors.Is(j.Err(), wantErr) {
+		t.Errorf("Err() = %v, want %v", j.Err(), wantErr)
+	}
+	if j.Len() != 0 {
+		t.Errorf("Len() = %d, want 0", j.Len())
+	}
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the standard Recorder: lock-free named atomic counters and
+// gauges, timers with count/total/max, and an optional journal sink for
+// events. The zero value is not usable; use NewMetrics.
+//
+// Metrics implements expvar.Var (String returns the JSON snapshot), so a
+// command can expose it at /debug/vars with expvar.Publish without obs
+// importing net/http.
+type Metrics struct {
+	counters sync.Map // string -> *int64
+	gauges   sync.Map // string -> *int64
+	timers   sync.Map // string -> *timerStat
+
+	mu      sync.Mutex
+	journal *Journal
+}
+
+// timerStat accumulates duration samples; all fields are atomics.
+type timerStat struct {
+	count   int64
+	totalNs int64
+	maxNs   int64
+}
+
+// NewMetrics returns an empty recorder.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// SetJournal attaches (or detaches, with nil) the journal that Event writes
+// to.
+func (m *Metrics) SetJournal(j *Journal) {
+	m.mu.Lock()
+	m.journal = j
+	m.mu.Unlock()
+}
+
+// JournalErr returns the attached journal's sticky write error, or nil when
+// no journal is attached or every emit succeeded.
+func (m *Metrics) JournalErr() error {
+	m.mu.Lock()
+	j := m.journal
+	m.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	return j.Err()
+}
+
+// cell returns the *int64 registered under name in tab, creating it on
+// first use.
+func cell(tab *sync.Map, name string) *int64 {
+	if p, ok := tab.Load(name); ok {
+		return p.(*int64)
+	}
+	p, _ := tab.LoadOrStore(name, new(int64))
+	return p.(*int64)
+}
+
+// Add implements Recorder.
+func (m *Metrics) Add(counter string, delta int64) {
+	atomic.AddInt64(cell(&m.counters, counter), delta)
+}
+
+// Set implements Recorder.
+func (m *Metrics) Set(gauge string, v int64) {
+	atomic.StoreInt64(cell(&m.gauges, gauge), v)
+}
+
+// Observe implements Recorder.
+func (m *Metrics) Observe(timer string, d time.Duration) {
+	var ts *timerStat
+	if p, ok := m.timers.Load(timer); ok {
+		ts = p.(*timerStat)
+	} else {
+		p, _ := m.timers.LoadOrStore(timer, &timerStat{})
+		ts = p.(*timerStat)
+	}
+	ns := d.Nanoseconds()
+	atomic.AddInt64(&ts.count, 1)
+	atomic.AddInt64(&ts.totalNs, ns)
+	for {
+		cur := atomic.LoadInt64(&ts.maxNs)
+		if ns <= cur || atomic.CompareAndSwapInt64(&ts.maxNs, cur, ns) {
+			break
+		}
+	}
+}
+
+// Event implements Recorder: when a journal is attached the event is
+// written as one JSONL line carrying the fields and a snapshot of all
+// counters and gauges; without a journal the event is dropped.
+func (m *Metrics) Event(name string, fields ...F) {
+	m.mu.Lock()
+	j := m.journal
+	m.mu.Unlock()
+	if j == nil {
+		return
+	}
+	j.Emit(name, fields, m.Snapshot())
+}
+
+// Counter returns the current value of a counter (0 if never touched).
+func (m *Metrics) Counter(name string) int64 {
+	if p, ok := m.counters.Load(name); ok {
+		return atomic.LoadInt64(p.(*int64))
+	}
+	return 0
+}
+
+// Gauge returns the current value of a gauge (0 if never set).
+func (m *Metrics) Gauge(name string) int64 {
+	if p, ok := m.gauges.Load(name); ok {
+		return atomic.LoadInt64(p.(*int64))
+	}
+	return 0
+}
+
+// Snapshot returns every counter and gauge by name. Timers contribute
+// three derived entries: <name>.count, <name>.total_ns, and <name>.max_ns.
+func (m *Metrics) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	m.counters.Range(func(k, v any) bool {
+		out[k.(string)] = atomic.LoadInt64(v.(*int64))
+		return true
+	})
+	m.gauges.Range(func(k, v any) bool {
+		out[k.(string)] = atomic.LoadInt64(v.(*int64))
+		return true
+	})
+	m.timers.Range(func(k, v any) bool {
+		ts := v.(*timerStat)
+		name := k.(string)
+		out[name+".count"] = atomic.LoadInt64(&ts.count)
+		out[name+".total_ns"] = atomic.LoadInt64(&ts.totalNs)
+		out[name+".max_ns"] = atomic.LoadInt64(&ts.maxNs)
+		return true
+	})
+	return out
+}
+
+// WriteText renders the snapshot as sorted "name value" lines.
+func (m *Metrics) WriteText(w io.Writer) error {
+	snap := m.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "%-40s %d\n", k, snap[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as one sorted-key JSON object — the same
+// shape expvar serves, so /debug/vars consumers can parse either.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(m.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// String implements expvar.Var.
+func (m *Metrics) String() string {
+	data, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(data)
+}

@@ -1,0 +1,81 @@
+// Package obs is the engine's zero-dependency observability layer: named
+// atomic counters, gauges, and timers behind a Recorder interface, plus a
+// structured JSONL run-event journal with monotonic timestamps.
+//
+// The package-level recorder is disabled by default. Hot paths load it once
+// per operation (obs.Active()) and pay a single nil-check when
+// instrumentation is off:
+//
+//	rec := obs.Active()
+//	...
+//	if rec != nil {
+//		rec.Add("explore.nodes", int64(len(frontier)))
+//	}
+//
+// Counter and gauge names are dotted lowercase paths grouped by subsystem
+// (explore.*, cache.*, field.*, certify.*, oracle.*, knowledge.*, sim.*).
+// Counters only ever grow; gauges are point-in-time snapshots; timers
+// accumulate durations of span-scoped phases.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Recorder receives engine instrumentation. Implementations must be safe
+// for concurrent use: the parallel exploration and field sweeps record from
+// worker goroutines.
+type Recorder interface {
+	// Add increments a named counter.
+	Add(counter string, delta int64)
+	// Set stores a named gauge value.
+	Set(gauge string, v int64)
+	// Observe accumulates one duration sample into a named timer.
+	Observe(timer string, d time.Duration)
+	// Event emits a structured run-event (journaled when a journal is
+	// attached, dropped otherwise). Events are rare — per run phase, not
+	// per state — so they may snapshot counters.
+	Event(name string, fields ...F)
+}
+
+// F is one key/value field of a run event.
+type F struct {
+	Key   string
+	Value any
+}
+
+// recorderBox wraps the active Recorder so atomic.Value can store a nil
+// recorder (interfaces of differing dynamic type cannot be swapped in an
+// atomic.Value directly).
+type recorderBox struct{ r Recorder }
+
+var active atomic.Value // recorderBox
+
+// Active returns the process-wide recorder, or nil when instrumentation is
+// disabled (the default).
+func Active() Recorder {
+	if b, ok := active.Load().(recorderBox); ok {
+		return b.r
+	}
+	return nil
+}
+
+// Enable installs r as the process-wide recorder.
+func Enable(r Recorder) { active.Store(recorderBox{r: r}) }
+
+// Disable turns instrumentation off; Active returns nil afterwards.
+func Disable() { active.Store(recorderBox{}) }
+
+// Span starts a span-scoped phase probe: it returns a func that, when
+// called, records the elapsed time into the named timer. Safe on a nil
+// recorder (returns a no-op), so call sites can unconditionally
+//
+//	defer obs.Span(rec, "explore.time")()
+func Span(r Recorder, timer string) func() {
+	if r == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { r.Observe(timer, time.Since(t0)) }
+}

@@ -1,0 +1,128 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestActiveDefaultsToNil(t *testing.T) {
+	obs.Disable()
+	if obs.Active() != nil {
+		t.Fatal("Active() != nil with instrumentation disabled")
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	m := obs.NewMetrics()
+	obs.Enable(m)
+	defer obs.Disable()
+	if obs.Active() != obs.Recorder(m) {
+		t.Fatal("Active() did not return the enabled recorder")
+	}
+	obs.Disable()
+	if obs.Active() != nil {
+		t.Fatal("Active() != nil after Disable")
+	}
+}
+
+func TestCountersGaugesTimers(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Add("a.count", 2)
+	m.Add("a.count", 3)
+	m.Set("a.gauge", 7)
+	m.Set("a.gauge", 4)
+	m.Observe("a.time", 10*time.Millisecond)
+	m.Observe("a.time", 30*time.Millisecond)
+
+	if got := m.Counter("a.count"); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if got := m.Gauge("a.gauge"); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+	snap := m.Snapshot()
+	if snap["a.time.count"] != 2 {
+		t.Errorf("timer count = %d, want 2", snap["a.time.count"])
+	}
+	if snap["a.time.max_ns"] != (30 * time.Millisecond).Nanoseconds() {
+		t.Errorf("timer max = %d", snap["a.time.max_ns"])
+	}
+	if snap["a.time.total_ns"] != (40 * time.Millisecond).Nanoseconds() {
+		t.Errorf("timer total = %d", snap["a.time.total_ns"])
+	}
+	if m.Counter("never.touched") != 0 || m.Gauge("never.touched") != 0 {
+		t.Error("untouched names should read 0")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	m := obs.NewMetrics()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Add("c", 1)
+				m.Set("g", int64(i))
+				m.Observe("t", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("c"); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if m.Snapshot()["t.count"] != workers*per {
+		t.Error("timer sample count wrong")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	m := obs.NewMetrics()
+	done := obs.Span(m, "phase")
+	time.Sleep(time.Millisecond)
+	done()
+	snap := m.Snapshot()
+	if snap["phase.count"] != 1 || snap["phase.total_ns"] <= 0 {
+		t.Errorf("span snapshot = %v", snap)
+	}
+	// Span on a nil recorder is a usable no-op.
+	obs.Span(nil, "phase")()
+}
+
+func TestWriteTextSortedAndJSON(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Add("b.second", 2)
+	m.Add("a.first", 1)
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if strings.Index(text, "a.first") > strings.Index(text, "b.second") {
+		t.Errorf("text export not sorted:\n%s", text)
+	}
+	buf.Reset()
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]int64
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["a.first"] != 1 || decoded["b.second"] != 2 {
+		t.Errorf("json export = %v", decoded)
+	}
+	// String() is the expvar.Var form of the same snapshot.
+	if err := json.Unmarshal([]byte(m.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ package report
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"repro/internal/core"
@@ -39,6 +40,48 @@ func NewExecution(e *core.Execution, format func(core.State) string) *ExecutionJ
 		out.Steps = append(out.Steps, StepJSON{Action: s.Action, State: format(s.State)})
 	}
 	return out
+}
+
+// Replay reconstructs an execution from its JSON form by running it back
+// through the model: the init is matched by key among m.Inits(), then each
+// recorded action label is followed through Successors and the reached
+// state's key checked against the recorded one. It requires the JSON to
+// have been produced with State.Key as the formatter (human-readable
+// renderings are not replayable) and returns the first divergence as an
+// error.
+func Replay(m core.Model, e *ExecutionJSON) (*core.Execution, error) {
+	if e == nil {
+		return nil, fmt.Errorf("report: nil execution")
+	}
+	var x core.State
+	for _, init := range m.Inits() {
+		if init.Key() == e.Init {
+			x = init
+			break
+		}
+	}
+	if x == nil {
+		return nil, fmt.Errorf("report: init %q is not an initial state of the model", e.Init)
+	}
+	out := &core.Execution{Init: x}
+	for i, step := range e.Steps {
+		var next core.State
+		for _, s := range m.Successors(x) {
+			if s.Action == step.Action {
+				next = s.State
+				break
+			}
+		}
+		if next == nil {
+			return nil, fmt.Errorf("report: step %d: action %q not offered at %q", i, step.Action, x.Key())
+		}
+		if next.Key() != step.State {
+			return nil, fmt.Errorf("report: step %d: action %q reached %q, recorded %q", i, step.Action, next.Key(), step.State)
+		}
+		out = out.Extend(step.Action, next)
+		x = next
+	}
+	return out, nil
 }
 
 // WitnessJSON is a serializable certification outcome.

@@ -100,6 +100,82 @@ func TestChainAndLayerJSON(t *testing.T) {
 	}
 }
 
+// decisionVectors summarizes an execution as the per-process decision at
+// every state along it (core.Undecided where undecided).
+func decisionVectors(e *core.Execution) [][]int {
+	var out [][]int
+	for _, x := range e.States() {
+		vec := make([]int, x.N())
+		for i := range vec {
+			vec[i] = core.Undecided
+			if v, ok := x.Decided(i); ok {
+				vec[i] = v
+			}
+		}
+		out = append(out, vec)
+	}
+	return out
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	// ExecutionJSON (with key formatter) -> JSON bytes -> Replay through the
+	// model must reproduce the original execution's decision vectors exactly.
+	w, m := refuted(t)
+	var buf bytes.Buffer
+	keyOf := func(x core.State) string { return x.Key() }
+	if err := report.Write(&buf, report.NewExecution(w.Exec, keyOf)); err != nil {
+		t.Fatal(err)
+	}
+	var decoded report.ExecutionJSON
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := report.Replay(m, &decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Len() != w.Exec.Len() {
+		t.Fatalf("replayed %d layers, want %d", replayed.Len(), w.Exec.Len())
+	}
+	got, want := decisionVectors(replayed), decisionVectors(w.Exec)
+	if len(got) != len(want) {
+		t.Fatalf("replay has %d states, want %d", len(got), len(want))
+	}
+	for d := range want {
+		for i := range want[d] {
+			if got[d][i] != want[d][i] {
+				t.Errorf("depth %d process %d: decision %d, want %d", d, i, got[d][i], want[d][i])
+			}
+		}
+	}
+}
+
+func TestReplayRejectsDivergence(t *testing.T) {
+	w, m := refuted(t)
+	keyOf := func(x core.State) string { return x.Key() }
+	j := report.NewExecution(w.Exec, keyOf)
+
+	bad := *j
+	bad.Init = "no-such-init"
+	if _, err := report.Replay(m, &bad); err == nil {
+		t.Error("unknown init not rejected")
+	}
+
+	bad = *j
+	bad.Steps = append([]report.StepJSON(nil), j.Steps...)
+	bad.Steps[0].Action = "no-such-action"
+	if _, err := report.Replay(m, &bad); err == nil {
+		t.Error("unknown action not rejected")
+	}
+
+	bad = *j
+	bad.Steps = append([]report.StepJSON(nil), j.Steps...)
+	bad.Steps[len(bad.Steps)-1].State = "wrong-key"
+	if _, err := report.Replay(m, &bad); err == nil {
+		t.Error("state-key mismatch not rejected")
+	}
+}
+
 func TestOKWitnessOmitsExecution(t *testing.T) {
 	m := mobile.New(protocols.FloodSet{Rounds: 2}, 3)
 	// A single univalent root certifies.

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/proto"
 )
 
@@ -120,16 +121,23 @@ func (c *Cluster) Step(drop DropRule) ([]int, error) {
 		sends[i] = r.sends
 	}
 	// Route with drops, then deliver concurrently.
+	routed, dropped := 0, 0
 	decisions := make([]int, c.n)
 	for j, w := range c.workers {
 		in := make([]string, c.n)
 		for i := 0; i < c.n; i++ {
-			if i == j || (drop != nil && drop(c.round, i, j)) {
+			if i == j {
 				in[i] = ""
+				continue
+			}
+			if drop != nil && drop(c.round, i, j) {
+				in[i] = ""
+				dropped++
 				continue
 			}
 			if j < len(sends[i]) {
 				in[i] = sends[i][j]
+				routed++
 			}
 		}
 		resps[j] = make(chan workerResp, 1)
@@ -138,6 +146,11 @@ func (c *Cluster) Step(drop DropRule) ([]int, error) {
 	for j := range c.workers {
 		r := <-resps[j]
 		decisions[j] = r.decided
+	}
+	if rec := obs.Active(); rec != nil {
+		rec.Add("sim.rounds", 1)
+		rec.Add("sim.messages", int64(routed))
+		rec.Add("sim.drops", int64(dropped))
 	}
 	return decisions, nil
 }

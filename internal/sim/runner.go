@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ErrNoSuccessors is returned when a model offers no successors (models in
@@ -61,6 +62,13 @@ func (r *Runner) Run(init core.State, sched Scheduler) (*Outcome, error) {
 		x = succs[i].State
 		if core.AllDecided(x) {
 			decisionLayer = exec.Len()
+		}
+	}
+	if rec := obs.Active(); rec != nil {
+		rec.Add("sim.runs", 1)
+		rec.Add("sim.layers", int64(exec.Len()))
+		if decisionLayer >= 0 {
+			rec.Add("sim.decided", 1)
 		}
 	}
 	return r.outcome(exec, decisionLayer), nil

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDigestClampsSmallWidths(t *testing.T) {
+	const s = "abcdefghij"
+	cases := []struct {
+		max  int
+		want string
+	}{
+		{-1, ""}, // previously panicked
+		{0, ""},  // previously panicked
+		{1, "a"},
+		{2, "ab"},
+		{3, "abc"},
+		{4, "a..."},
+		{7, "abcd..."},
+		{len(s), s},
+		{len(s) + 5, s},
+	}
+	for _, c := range cases {
+		if got := digest(s, c.max); got != c.want {
+			t.Errorf("digest(%q, %d) = %q, want %q", s, c.max, got, c.want)
+		}
+	}
+}
+
+func TestDigestShortStringUnchanged(t *testing.T) {
+	// Strings within the width are returned verbatim, even at tiny widths.
+	if got := digest("ab", 2); got != "ab" {
+		t.Errorf("digest(ab, 2) = %q", got)
+	}
+	if got := digest("", 0); got != "" {
+		t.Errorf("digest of empty = %q", got)
+	}
+}
+
+func TestDigestNeverPanicsAcrossWidths(t *testing.T) {
+	s := strings.Repeat("x", 64)
+	for max := -4; max <= len(s)+4; max++ {
+		got := digest(s, max)
+		if len(got) > len(s)+3 {
+			t.Fatalf("digest width %d returned %d bytes", max, len(got))
+		}
+	}
+}

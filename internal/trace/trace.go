@@ -10,10 +10,17 @@ import (
 	"repro/internal/core"
 )
 
-// digest shortens a canonical state string for display.
+// digest shortens a canonical state string for display. Widths too small
+// to hold the "..." ellipsis degrade to a plain prefix cut.
 func digest(s string, max int) string {
 	if len(s) <= max {
 		return s
+	}
+	if max <= 3 {
+		if max < 0 {
+			max = 0
+		}
+		return s[:max]
 	}
 	return s[:max-3] + "..."
 }

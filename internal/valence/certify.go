@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // WitnessKind classifies the outcome of certifying a consensus protocol
@@ -70,6 +71,8 @@ func Certify(m core.Model, bound, maxVisits int) (*Witness, error) {
 // multivalued Con_0 built with a model's Initial method, or a single
 // suspicious input assignment.
 func CertifyFrom(m core.Model, inits []core.State, bound, maxVisits int) (*Witness, error) {
+	rec := obs.Active()
+	defer obs.Span(rec, "certify.time")()
 	c := newCertifier(m, bound, maxVisits)
 	for _, init := range inits {
 		inputs := inputMask(init)
@@ -80,10 +83,30 @@ func CertifyFrom(m core.Model, inits []core.State, bound, maxVisits int) (*Witne
 		}
 		if w != nil {
 			w.Explored = c.visits
+			c.finish(rec, w)
 			return w, nil
 		}
 	}
-	return &Witness{Kind: OK, Explored: c.visits}, nil
+	w := &Witness{Kind: OK, Explored: c.visits}
+	c.finish(rec, w)
+	return w, nil
+}
+
+// finish publishes the recursive certifier's counters and emits
+// certify.done, mirroring the graph engine's event so journals read the
+// same whichever engine ran.
+func (c *certifier) finish(rec obs.Recorder, w *Witness) {
+	if rec == nil {
+		return
+	}
+	rec.Add("certify.runs", 1)
+	rec.Add("certify.visits", int64(c.visits))
+	rec.Set("certify.explored", int64(c.visits))
+	rec.Event("certify.done",
+		obs.F{Key: "engine", Value: "recursive"},
+		obs.F{Key: "verdict", Value: w.Kind.String()},
+		obs.F{Key: "explored", Value: w.Explored},
+		obs.F{Key: "memo", Value: len(c.memo)})
 }
 
 // certMemoKey keys the certified-clean memo on the state's dense cache id

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ErrNotGraded is returned by CertifyGraph when the graph has an edge that
@@ -32,6 +33,16 @@ func CertifyGraph(g *core.IDGraph, maxVisits int) (*Witness, error) {
 	if !g.Graded() {
 		return nil, ErrNotGraded
 	}
+	rec := obs.Active()
+	if rec != nil {
+		defer obs.Span(rec, "certify.time")()
+		rec.Event("certify.start",
+			obs.F{Key: "engine", Value: "graph"},
+			obs.F{Key: "nodes", Value: g.Len()},
+			obs.F{Key: "edges", Value: g.NumEdges()},
+			obs.F{Key: "depth", Value: g.Depth},
+			obs.F{Key: "roots", Value: len(g.Inits)})
+	}
 	c := &graphCertifier{g: g, maxVisits: maxVisits, visited: make(map[uint64][]uint64)}
 	for _, r := range g.Inits {
 		w, err := c.run(r)
@@ -40,10 +51,37 @@ func CertifyGraph(g *core.IDGraph, maxVisits int) (*Witness, error) {
 		}
 		if w != nil {
 			w.Explored = c.visits
+			c.finish(rec, w)
 			return w, nil
 		}
 	}
-	return &Witness{Kind: OK, Explored: c.visits}, nil
+	w := &Witness{Kind: OK, Explored: c.visits}
+	c.finish(rec, w)
+	return w, nil
+}
+
+// finish publishes the certification's counters and emits certify.done.
+// The visited-bitset density — visits over (nodes × input-mask bitsets) —
+// is how full the memo got: near 100% means the search was bound by the
+// graph, not by pruning.
+func (c *graphCertifier) finish(rec obs.Recorder, w *Witness) {
+	if rec == nil {
+		return
+	}
+	rec.Add("certify.runs", 1)
+	rec.Add("certify.visits", int64(c.visits))
+	rec.Set("certify.explored", int64(c.visits))
+	densityPct := int64(0)
+	if cells := int64(c.g.Len()) * int64(len(c.visited)); cells > 0 {
+		densityPct = int64(c.visits) * 100 / cells
+	}
+	rec.Set("certify.bitset_density_pct", densityPct)
+	rec.Event("certify.done",
+		obs.F{Key: "engine", Value: "graph"},
+		obs.F{Key: "verdict", Value: w.Kind.String()},
+		obs.F{Key: "explored", Value: w.Explored},
+		obs.F{Key: "bitsets", Value: len(c.visited)},
+		obs.F{Key: "density_pct", Value: densityPct})
 }
 
 // CertifyFast is Certify through the graph-backed engine: it materializes

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Field is the whole-graph form of the valence Oracle: the valence mask of
@@ -50,14 +52,36 @@ func NewFieldParallel(g *core.IDGraph, workers int) *Field {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	rec := obs.Active()
+	defer obs.Span(rec, "field.time")()
+	if rec != nil {
+		rec.Add("field.sweeps", 1)
+		rec.Add("field.nodes", int64(g.Len()))
+	}
 	f := &Field{g: g, masks: make([]uint8, g.Len())}
 	if g.Graded() {
 		for d := g.NumLayers() - 1; d >= 0; d-- {
-			f.sweepLayer(g.Layer(d), workers)
+			layer := g.Layer(d)
+			var t0 time.Time
+			if rec != nil {
+				t0 = time.Now()
+			}
+			imbalance := f.sweepLayer(layer, workers, rec != nil)
+			if rec != nil {
+				elapsed := time.Since(t0)
+				rec.Observe("field.layer.time", elapsed)
+				rec.Event("field.layer",
+					obs.F{Key: "depth", Value: d},
+					obs.F{Key: "width", Value: len(layer)},
+					obs.F{Key: "ns", Value: elapsed.Nanoseconds()},
+					obs.F{Key: "imbalance_pct", Value: imbalance})
+			}
 		}
 		return f
 	}
+	iters := 0
 	for {
+		iters++
 		changed := false
 		for u := g.Len() - 1; u >= 0; u-- {
 			if m := f.nodeMask(uint32(u)) | f.masks[u]; m != f.masks[u] {
@@ -66,6 +90,12 @@ func NewFieldParallel(g *core.IDGraph, workers int) *Field {
 			}
 		}
 		if !changed {
+			if rec != nil {
+				rec.Add("field.fixpoint.iterations", int64(iters))
+				rec.Event("field.fixpoint",
+					obs.F{Key: "nodes", Value: g.Len()},
+					obs.F{Key: "iterations", Value: iters})
+			}
 			return f
 		}
 	}
@@ -73,28 +103,57 @@ func NewFieldParallel(g *core.IDGraph, workers int) *Field {
 
 // sweepLayer computes the masks of one finished-children layer, sharding
 // across workers when the layer is large enough to pay for goroutines.
-func (f *Field) sweepLayer(layer []uint32, workers int) {
+// With measure set it times each shard and returns the worker-imbalance
+// ratio, max shard time over mean shard time, in percent (100 = perfectly
+// balanced; 0 when the layer ran serially or unmeasured).
+func (f *Field) sweepLayer(layer []uint32, workers int, measure bool) (imbalancePct int64) {
 	if max := len(layer) / fieldShardMin; workers > max {
 		workers = max
 	}
 	if workers <= 1 {
 		f.sweepRange(layer)
-		return
+		return 0
 	}
 	shard := (len(layer) + workers - 1) / workers
+	nShards := (len(layer) + shard - 1) / shard
+	var shardNs []int64
+	if measure {
+		shardNs = make([]int64, nShards)
+	}
 	var wg sync.WaitGroup
-	for lo := 0; lo < len(layer); lo += shard {
+	for w := 0; w*shard < len(layer); w++ {
+		lo := w * shard
 		hi := lo + shard
 		if hi > len(layer) {
 			hi = len(layer)
 		}
 		wg.Add(1)
-		go func(part []uint32) {
+		go func(w int, part []uint32) {
 			defer wg.Done()
+			if shardNs != nil {
+				t0 := time.Now()
+				f.sweepRange(part)
+				shardNs[w] = time.Since(t0).Nanoseconds()
+				return
+			}
 			f.sweepRange(part)
-		}(layer[lo:hi])
+		}(w, layer[lo:hi])
 	}
 	wg.Wait()
+	if shardNs == nil {
+		return 0
+	}
+	var max, total int64
+	for _, ns := range shardNs {
+		total += ns
+		if ns > max {
+			max = ns
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return max * 100 * int64(len(shardNs)) / total
 }
 
 // sweepRange computes the masks of a slice of same-layer nodes. Each node's

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // LayerReport is the result of analyzing one layer S(x): the distinct
@@ -178,6 +179,11 @@ func AnalyzeLayer(succ core.Successor, o *Oracle, x core.State, horizon int) *La
 		}
 	}
 	r.ValenceConnected = ValenceConnected(r.Valences)
+	if rec := obs.Active(); rec != nil {
+		rec.Add("layer.analyses", 1)
+		rec.Add("layer.states", int64(len(states)))
+		o.PublishStats(rec)
+	}
 	return r
 }
 

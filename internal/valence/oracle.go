@@ -22,6 +22,7 @@ package valence
 
 import (
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // V0 and V1 are the bits of a valence mask.
@@ -50,6 +51,28 @@ type Oracle struct {
 	// field, when set, resolves queries for states of a materialized graph
 	// directly from the whole-graph valence field.
 	field *Field
+
+	// stats counts where queries were answered. Plain ints: an Oracle,
+	// like its memo map, is confined to one goroutine.
+	stats OracleStats
+}
+
+// OracleStats breaks down how an oracle's queries were resolved — the
+// explored-vs-pruned ledger of the lazy valence engine. Queries counts
+// every valence computation including recursive self-calls, so
+// Queries - (MemoHits + FieldHits + BivalentShortcuts) is the number of
+// states whose successors were actually walked.
+type OracleStats struct {
+	// Queries counts valence computations, including recursive ones.
+	Queries int64
+	// MemoHits were answered from the (state, horizon) memo.
+	MemoHits int64
+	// FieldHits were answered from a registered whole-graph field.
+	FieldHits int64
+	// BivalentShortcuts were answered by bivalence monotonicity.
+	BivalentShortcuts int64
+	// MemoEntries is the current size of the (state, horizon) memo.
+	MemoEntries int
 }
 
 type memoKey struct {
@@ -73,16 +96,20 @@ func (o *Oracle) Valences(x core.State, horizon int) uint8 {
 }
 
 func (o *Oracle) valences(id uint32, x core.State, horizon int) uint8 {
+	o.stats.Queries++
 	if o.bivalentShortcut(id, horizon) {
+		o.stats.BivalentShortcuts++
 		return V0 | V1
 	}
 	if o.field != nil {
 		if m, ok := o.fieldLookup(id, horizon); ok {
+			o.stats.FieldHits++
 			return m
 		}
 	}
 	k := memoKey{id: id, horizon: int32(horizon)}
 	if v, ok := o.memo[k]; ok {
+		o.stats.MemoHits++
 		return v
 	}
 	mask := uint8(core.DecidedValues(x) & 0b11)
@@ -188,6 +215,27 @@ func (o *Oracle) Univalent(x core.State, horizon int) (v int, ok bool) {
 // MemoLen reports the number of memoized (state, horizon) entries; used by
 // benchmarks to report search effort.
 func (o *Oracle) MemoLen() int { return len(o.memo) }
+
+// Stats returns the oracle's query-resolution counters.
+func (o *Oracle) Stats() OracleStats {
+	s := o.stats
+	s.MemoEntries = len(o.memo)
+	return s
+}
+
+// PublishStats pushes the oracle's counters into a recorder as gauges.
+// Safe on a nil recorder.
+func (o *Oracle) PublishStats(rec obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	s := o.Stats()
+	rec.Set("oracle.queries", s.Queries)
+	rec.Set("oracle.memo_hits", s.MemoHits)
+	rec.Set("oracle.field_hits", s.FieldHits)
+	rec.Set("oracle.bivalent_shortcuts", s.BivalentShortcuts)
+	rec.Set("oracle.memo_entries", int64(s.MemoEntries))
+}
 
 // SharedValence reports whether x ~v y within the horizon (Definition 3.1):
 // some value w has both states w-valent.
