@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race vet bench profile clean
+.PHONY: all build test tier1 race vet lint vettool bench profile clean
 
 all: tier1
 
@@ -10,21 +10,37 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the engine-invariant analyzer suite (internal/analysis) over
+# the whole module: detorder, internfreeze, obsguard, senterr, parshard.
+# Exit status 1 means findings; suppress a deliberate exception with a
+# //lint:<token> comment on the flagged line or the line above (the token
+# is per-analyzer: nondet, mutates, obs, sentinel, unsync).
+lint:
+	$(GO) run ./cmd/lint ./...
+
+# vettool runs the same suite through go vet's -vettool protocol, which
+# adds build-cache incrementality and covers _test.go files (senterr).
+vettool:
+	$(GO) build -o bin/lint ./cmd/lint
+	$(GO) vet -vettool=$(CURDIR)/bin/lint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./internal/...
 	$(GO) test -race -run 'TestFieldPropertyMatchesOracle|TestCertifyGraphMatchesRecursive' ./internal/valence
-	$(GO) test -race ./internal/obs ./internal/cli
+	$(GO) test -race ./internal/obs ./internal/cli ./cmd/lint
 
 # tier1 is the gate every change must keep green: full build, vet, the
-# complete test suite (including the golden experiment outputs in the root
-# package), and the race detector over the internal packages that use
-# concurrency (parallel exploration, parallel certification, shared
-# successor caches, and the sharded valence-field sweep, whose randomized
-# property test is re-run explicitly above).
-tier1: build vet test race
+# engine-invariant lint suite, the complete test suite (including the
+# golden experiment outputs in the root package), and the race detector
+# over the internal packages that use concurrency (parallel exploration,
+# parallel certification, shared successor caches, and the sharded
+# valence-field sweep, whose randomized property test is re-run explicitly
+# above; ./internal/... also covers internal/analysis and its fixture
+# tests).
+tier1: build vet lint test race
 
 # bench regenerates BENCH_2.json from the E1–E11 experiment benchmarks and
 # the certifier benchmarks, and prints the per-row delta against the

@@ -1,0 +1,234 @@
+// Command lint runs the engine-invariant analyzer suite (internal/analysis)
+// over module packages. It has two modes:
+//
+// Standalone (make lint):
+//
+//	go run ./cmd/lint ./...
+//
+// loads packages through `go list -export`, runs every analyzer that
+// Applies to each package, prints file:line:col: [analyzer] message lines,
+// and exits 1 when any diagnostic is reported.
+//
+// Vettool (make vettool): the binary also speaks the cmd/go unitchecker
+// protocol, so the same checks run under the build cache:
+//
+//	go build -o bin/lint ./cmd/lint
+//	go vet -vettool=bin/lint ./...
+//
+// In this mode cmd/go invokes the tool once per compilation unit with a
+// JSON config file; diagnostics go to stderr and the exit status is 2. Test
+// files are only checked by senterr (tests may reach into iteration order
+// and timing deliberately; sentinel comparisons stay wrong everywhere).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	// The unitchecker handshake: cmd/go probes the tool's version and flag
+	// set before handing it config files.
+	versionFlag := flag.String("V", "", "print version (unitchecker protocol)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON (unitchecker protocol)")
+	flag.Usage = usage
+	flag.Parse()
+
+	switch {
+	case *versionFlag != "":
+		printVersion()
+	case *flagsFlag:
+		// No tool-level flags beyond the protocol ones.
+		fmt.Println("[]")
+	case flag.NArg() == 1 && strings.HasSuffix(flag.Arg(0), ".cfg"):
+		runUnitchecker(flag.Arg(0))
+	default:
+		runStandalone(flag.Args())
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: lint [packages]   (standalone, e.g. lint ./...)\n")
+	fmt.Fprintf(os.Stderr, "       go vet -vettool=$(which lint) [packages]\n\nanalyzers:\n")
+	for _, a := range analysis.All() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nsuppress one finding with a //lint:<token> comment on the flagged line or the line above\n")
+}
+
+// printVersion emulates unitchecker's -V=full output; cmd/go folds the
+// buildID into its action cache key so vettool results invalidate when the
+// lint binary changes.
+func printVersion() {
+	progname, _ := os.Executable()
+	h := sha256.New()
+	if f, err := os.Open(progname); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
+		filepath.Base(progname), string(h.Sum(nil)))
+}
+
+// runStandalone is the make-lint path: load packages via the go command and
+// report to stdout.
+func runStandalone(patterns []string) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := &analysis.Loader{Dir: "."}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		for _, a := range analysis.All() {
+			if !analysis.Applies(a, pkg.ImportPath) {
+				continue
+			}
+			diags, err := analysis.RunAnalyzer(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			for _, d := range diags {
+				found++
+				fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
+			}
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+// unitConfig is the subset of cmd/go's vet config JSON the tool consumes.
+type unitConfig struct {
+	ID          string
+	Dir         string
+	ImportPath  string
+	GoVersion   string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOutput  string
+	VetxOnly    bool
+}
+
+// runUnitchecker analyzes one compilation unit described by a cfg file, per
+// the go vet -vettool contract.
+func runUnitchecker(cfgPath string) {
+	body, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("reading config: %v", err)
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(body, &cfg); err != nil {
+		fatalf("parsing config %s: %v", cfgPath, err)
+	}
+
+	// Dependency units are vetted only for their facts; this suite exports
+	// none, so write the (empty) facts file and succeed without analyzing.
+	if cfg.VetxOnly {
+		writeVetx(cfg.VetxOutput)
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		fatalf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	// cmd/go expects the facts output file to exist even though this suite
+	// exports no facts.
+	writeVetx(cfg.VetxOutput)
+
+	// Test variants re-list the non-test files; only report on them from the
+	// base unit so findings are not duplicated across units.
+	basePath := cfg.ImportPath
+	isVariant := false
+	if i := strings.Index(basePath, " ["); i >= 0 {
+		basePath, isVariant = basePath[:i], true
+	}
+
+	found := 0
+	for _, a := range analysis.All() {
+		if !analysis.Applies(a, basePath) {
+			continue
+		}
+		diags, err := analysis.RunAnalyzer(a, fset, files, pkg, info)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			inTest := strings.HasSuffix(pos.Filename, "_test.go")
+			if inTest && a != analysis.SentErr {
+				continue
+			}
+			if !inTest && isVariant {
+				continue
+			}
+			found++
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pos, a.Name, d.Message)
+		}
+	}
+	if found > 0 {
+		os.Exit(2)
+	}
+}
+
+func writeVetx(path string) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, nil, 0o666); err != nil {
+		fatalf("writing vetx output: %v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lint: "+format+"\n", args...)
+	os.Exit(1)
+}

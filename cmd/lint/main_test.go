@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the lint binary once per test into a temp dir.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "lint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// TestLintExitsZeroOnRepo pins the suite's clean bill of health: every true
+// finding in the tree has been fixed or carries an auditable //lint:
+// annotation, so the standalone checker must exit 0 over ./...
+func TestLintExitsZeroOnRepo(t *testing.T) {
+	bin := buildLint(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("lint ./... reported findings on a clean tree: %v\n%s", err, out)
+	}
+}
+
+// TestLintExitsNonzeroOnViolation rebuilds the acceptance scenario: a map
+// range deliberately introduced into an internal/valence/field.go must make
+// the checker exit nonzero with a detorder diagnostic.
+func TestLintExitsNonzeroOnViolation(t *testing.T) {
+	bin := buildLint(t)
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module synthetic\n\ngo 1.22\n",
+		"internal/valence/field.go": `package valence
+
+// Sum folds a map without sorting: the planted detorder violation.
+func Sum(weights map[string]int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	return total
+}
+`,
+	}
+	for name, body := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("lint on planted violation: err = %v (want nonzero exit)\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("lint exit code = %d, want 1\n%s", code, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "[detorder]") || !strings.Contains(text, "range over map") {
+		t.Fatalf("lint output missing detorder diagnostic:\n%s", text)
+	}
+}
+
+// TestLintVersionHandshake checks the -V=full half of the go vet -vettool
+// protocol: one line ending in a buildID field.
+func TestLintVersionHandshake(t *testing.T) {
+	bin := buildLint(t)
+	out, err := exec.Command(bin, "-V=full").CombinedOutput()
+	if err != nil {
+		t.Fatalf("lint -V=full: %v\n%s", err, out)
+	}
+	fields := strings.Fields(strings.TrimSpace(string(out)))
+	if len(fields) < 3 || !strings.HasPrefix(fields[len(fields)-1], "buildID=") {
+		t.Fatalf("lint -V=full output %q does not satisfy the vettool handshake", out)
+	}
+	flagsOut, err := exec.Command(bin, "-flags").CombinedOutput()
+	if err != nil {
+		t.Fatalf("lint -flags: %v\n%s", err, flagsOut)
+	}
+	if strings.TrimSpace(string(flagsOut)) != "[]" {
+		t.Fatalf("lint -flags = %q, want []", flagsOut)
+	}
+}

@@ -1,0 +1,186 @@
+// Package analysis is the engine-invariant analyzer suite: a small,
+// dependency-free reimplementation of the go/analysis vocabulary (Analyzer,
+// Pass, Diagnostic) plus five custom analyzers that mechanically enforce the
+// invariants the engine's correctness rests on but Go's type system cannot
+// express:
+//
+//   - detorder: no nondeterministic iteration or clocks inside the
+//     deterministic engine packages (bit-for-bit golden outputs depend on
+//     map-free traversal order).
+//   - internfreeze: interned state values are immutable outside their
+//     constructors (aliased mutation would corrupt the shared successor
+//     caches).
+//   - obsguard: obs.Recorder calls stay nil-guarded and batched per layer,
+//     never per node (the disabled-instrumentation fast path pays one
+//     branch).
+//   - senterr: sentinel errors are matched with errors.Is, never ==
+//     (budget errors arrive wrapped with context).
+//   - parshard: worker spawn sites do not capture loop variables and do not
+//     fire-and-forget sends on unbuffered channels.
+//
+// The suite runs standalone via cmd/lint (wired into make lint / tier1) and
+// through go vet -vettool. Each analyzer has an escape hatch: a comment of
+// the form //lint:<token> (e.g. //lint:nondet) on the flagged line or the
+// line directly above suppresses the diagnostic, leaving an auditable
+// marker in the source.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker, mirroring go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and Makefile output.
+	Name string
+	// Doc is the one-paragraph description printed by cmd/lint -help.
+	Doc string
+	// Suppress is the escape-hatch token: a //lint:<Suppress> comment on
+	// the reported line or the line above silences the diagnostic.
+	Suppress string
+	// Run reports diagnostics on the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the pass's FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass hands one analyzer one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+	// suppressed maps "file:line" to the set of escape tokens present there.
+	suppressed map[string]map[string]bool
+}
+
+// NewPass assembles a pass and indexes the package's //lint: escape-hatch
+// comments.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	p := &Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		suppressed: make(map[string]map[string]bool),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				if p.suppressed[key] == nil {
+					p.suppressed[key] = make(map[string]bool)
+				}
+				for _, tok := range strings.Fields(strings.TrimPrefix(text, "lint:")) {
+					p.suppressed[key][tok] = true
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Reportf records a diagnostic unless an escape-hatch comment suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Analyzer.Suppress != "" {
+		position := p.Fset.Position(pos)
+		for _, line := range []int{position.Line, position.Line - 1} {
+			key := fmt.Sprintf("%s:%d", position.Filename, line)
+			if p.suppressed[key][p.Analyzer.Suppress] {
+				return
+			}
+		}
+	}
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when the checker recorded none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier through Uses then Defs.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// RunAnalyzer runs one analyzer over one loaded package and returns its
+// diagnostics sorted by position.
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := NewPass(a, fset, files, pkg, info)
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	sort.Slice(pass.diagnostics, func(i, j int) bool {
+		return pass.diagnostics[i].Pos < pass.diagnostics[j].Pos
+	})
+	return pass.diagnostics, nil
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{DetOrder, InternFreeze, ObsGuard, SentErr, ParShard}
+}
+
+// deterministicSuffixes are the import-path suffixes of the deterministic
+// engine packages: exploration and field sweeps there must be bit-for-bit
+// reproducible, so detorder (and the parallel-spawn hygiene of parshard)
+// applies to them.
+var deterministicSuffixes = []string{
+	"internal/core",
+	"internal/valence",
+	"internal/knowledge",
+	"internal/decision",
+}
+
+// IsDeterministicEnginePkg reports whether the import path names one of the
+// deterministic engine packages (matched by suffix so analysistest fixture
+// paths and the real module agree).
+func IsDeterministicEnginePkg(path string) bool {
+	for _, s := range deterministicSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Applies reports whether the analyzer checks packages with the given
+// import path when driven by cmd/lint. Analyzers themselves are
+// scope-free — fixtures run them directly — so the package filter lives
+// here, next to the suite definition.
+func Applies(a *Analyzer, pkgPath string) bool {
+	switch a {
+	case DetOrder:
+		return IsDeterministicEnginePkg(pkgPath)
+	case ObsGuard:
+		// Everywhere but the Recorder implementation itself.
+		return pkgPath != "internal/obs" && !strings.HasSuffix(pkgPath, "/internal/obs")
+	default:
+		return true
+	}
+}

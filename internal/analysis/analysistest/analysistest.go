@@ -1,0 +1,144 @@
+// Package analysistest is a file-fixture harness for the engine-invariant
+// analyzer suite, mirroring golang.org/x/tools/go/analysis/analysistest on
+// top of the stdlib-only framework in internal/analysis.
+//
+// Fixtures live in GOPATH-style trees: testdata/src/<importpath>/*.go.
+// Expected diagnostics are declared in the fixture source with trailing
+// comments of the form
+//
+//	code() // want "regexp"
+//
+// Each quoted pattern must match (regexp search, not full match) the
+// message of exactly one diagnostic reported on that line; diagnostics
+// without a matching want, and wants without a matching diagnostic, fail
+// the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at srcRoot/<pkgPath>, runs the analyzer,
+// and compares reported diagnostics against the // want comments.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	lp, err := analysis.LoadTestdataPackage(srcRoot, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	diags, err := analysis.RunAnalyzer(a, lp.Fset, lp.Files, lp.Pkg, lp.Info)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+
+	wants, err := collectWants(lp)
+	if err != nil {
+		t.Fatalf("parsing want comments in %s: %v", pkgPath, err)
+	}
+
+	for _, d := range diags {
+		pos := lp.Fset.Position(d.Pos)
+		if w := matchWant(wants, pos.Filename, pos.Line, d.Message); w == nil {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// matchWant finds the first unmatched want on the diagnostic's line whose
+// pattern matches the message, marks it matched, and returns it.
+func matchWant(wants []*want, file string, line int, message string) *want {
+	for _, w := range wants {
+		if w.matched || w.file != file || w.line != line {
+			continue
+		}
+		if w.pattern.MatchString(message) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants extracts the // want expectations from the fixture's
+// comments. A single comment may carry several quoted patterns.
+func collectWants(lp *analysis.LoadedPackage) ([]*want, error) {
+	var wants []*want
+	for _, f := range lp.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ws, err := parseWantComment(lp, c)
+				if err != nil {
+					return nil, err
+				}
+				wants = append(wants, ws...)
+			}
+		}
+	}
+	return wants, nil
+}
+
+func parseWantComment(lp *analysis.LoadedPackage, c *ast.Comment) ([]*want, error) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil, nil
+	}
+	pos := lp.Fset.Position(c.Pos())
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+	var wants []*want
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			return nil, fmt.Errorf("%s:%d: want pattern must be a quoted string, got %q", pos.Filename, pos.Line, rest)
+		}
+		lit, remainder, err := cutStringLit(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+		}
+		wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+		rest = strings.TrimSpace(remainder)
+	}
+	return wants, nil
+}
+
+// cutStringLit splits one leading Go string literal off s, returning its
+// unquoted value and the remainder.
+func cutStringLit(s string) (string, string, error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' && quote == '"' {
+			i++
+			continue
+		}
+		if s[i] == quote {
+			lit, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("unquoting %s: %v", s[:i+1], err)
+			}
+			return lit, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated want pattern in %s", s)
+}

@@ -1,0 +1,96 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// TestLoaderOverlayInjectsViolation drives the in-process half of the
+// acceptance criterion: overlaying internal/valence/field.go with an added
+// unsorted map range must surface a detorder diagnostic, without touching
+// the working tree.
+func TestLoaderOverlayInjectsViolation(t *testing.T) {
+	root := moduleRoot(t)
+	target := filepath.Join(root, "internal", "valence", "field.go")
+	body, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planted := append([]byte{}, body...)
+	planted = append(planted, []byte(`
+
+func overlayPlantedFold(weights map[string]int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	return total
+}
+`)...)
+
+	loader := &analysis.Loader{Dir: root, Overlay: map[string][]byte{target: planted}}
+	pkgs, err := loader.Load("./internal/valence")
+	if err != nil {
+		t.Fatalf("loading overlaid package: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if !analysis.Applies(analysis.DetOrder, pkg.ImportPath) {
+		t.Fatalf("detorder does not apply to %s", pkg.ImportPath)
+	}
+	diags, err := analysis.RunAnalyzer(analysis.DetOrder, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "range over map weights") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted map range not reported; diagnostics: %v", diags)
+	}
+}
+
+// TestLoaderCleanPackages loads the engine packages without an overlay and
+// expects the full applicable suite to come back empty.
+func TestLoaderCleanPackages(t *testing.T) {
+	loader := &analysis.Loader{Dir: moduleRoot(t)}
+	pkgs, err := loader.Load("./internal/core", "./internal/valence", "./internal/decision", "./internal/knowledge")
+	if err != nil {
+		t.Fatalf("loading engine packages: %v", err)
+	}
+	if len(pkgs) != 4 {
+		t.Fatalf("loaded %d packages, want 4", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analysis.All() {
+			if !analysis.Applies(a, pkg.ImportPath) {
+				continue
+			}
+			diags, err := analysis.RunAnalyzer(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: [%s] %s", pkg.Fset.Position(d.Pos), a.Name, d.Message)
+			}
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ObsGuard enforces the two cost rules of the observability layer
+// (internal/obs): with instrumentation disabled the hot paths must pay a
+// single nil-check per operation, and with it enabled the recorder must be
+// fed per layer/depth, never per node.
+//
+// Rule 1 (nil dominance): every method call on a value of interface type
+// obs.Recorder must be dominated by a nil check — inside `if rec != nil`,
+// after an early `if rec == nil { return }`, or in the else-arm of a
+// nil-test. An unguarded call panics when instrumentation is off (Active
+// returns a nil Recorder) or silently re-introduces per-call interface
+// dispatch on the disabled path.
+//
+// Rule 2 (batching): a Recorder call nested two or more loops deep inside
+// one function is per-node instrumentation (the depth/layer loop is one
+// level; anything deeper iterates states or edges). Such counters must be
+// accumulated locally and published once per layer, as exploreID and the
+// field sweep do.
+var ObsGuard = &Analyzer{
+	Name:     "obsguard",
+	Suppress: "obs",
+	Doc: "flag obs.Recorder calls not dominated by a nil check, and recorder calls nested " +
+		"two or more loops deep (per-node instrumentation must batch per layer)",
+	Run: runObsGuard,
+}
+
+func runObsGuard(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				w := &obsWalker{pass: pass, guarded: make(map[types.Object]bool)}
+				// A Recorder parameter of a function that immediately
+				// early-returns on nil is the dominant pattern; parameters
+				// start unguarded and earn the guard from that check.
+				w.walkBody(fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// obsWalker tracks, along one lexical path through a function, which
+// Recorder-typed variables are dominated by a nil check and how many loops
+// enclose the current statement.
+type obsWalker struct {
+	pass      *Pass
+	guarded   map[types.Object]bool
+	loopDepth int
+}
+
+// walkBody walks the statements of a block, propagating "guarded after
+// early return" facts from `if x == nil { return }` statements to the
+// statements that follow them in the same block.
+func (w *obsWalker) walkBody(block *ast.BlockStmt) {
+	var restored []types.Object
+	for _, stmt := range block.List {
+		w.walkStmt(stmt)
+		if ifs, ok := stmt.(*ast.IfStmt); ok {
+			for _, obj := range w.nilEqualObjects(ifs.Cond) {
+				if terminates(ifs.Body) && !w.guarded[obj] {
+					w.guarded[obj] = true
+					restored = append(restored, obj)
+				}
+			}
+		}
+	}
+	for _, obj := range restored {
+		delete(w.guarded, obj)
+	}
+}
+
+func (w *obsWalker) walkStmt(stmt ast.Stmt) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		w.walkBody(s)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.checkExpr(s.Cond)
+		// `if x != nil { ... }` guards the then-branch;
+		// `if x == nil { ... } else { ... }` guards the else-branch.
+		w.withGuards(w.nilNotEqualObjects(s.Cond), func() { w.walkBody(s.Body) })
+		if s.Else != nil {
+			w.withGuards(w.nilEqualObjects(s.Cond), func() { w.walkStmt(s.Else) })
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond)
+		}
+		if s.Post != nil {
+			w.walkStmt(s.Post)
+		}
+		w.loopDepth++
+		w.walkBody(s.Body)
+		w.loopDepth--
+	case *ast.RangeStmt:
+		w.checkExpr(s.X)
+		w.loopDepth++
+		w.walkBody(s.Body)
+		w.loopDepth--
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag)
+		}
+		w.walkBody(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkStmt(s.Assign)
+		w.walkBody(s.Body)
+	case *ast.SelectStmt:
+		w.walkBody(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.checkExpr(e)
+		}
+		for _, st := range s.Body {
+			w.walkStmt(st)
+		}
+	case *ast.CommClause:
+		if s.Comm != nil {
+			w.walkStmt(s.Comm)
+		}
+		for _, st := range s.Body {
+			w.walkStmt(st)
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	default:
+		// Leaf statements: scan their expressions for recorder calls and
+		// nested function literals.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				nested := &obsWalker{pass: w.pass, guarded: make(map[types.Object]bool)}
+				// A closure inherits the guards that dominate its creation
+				// site: `if rec != nil { defer func() { rec.Event(...) }() }`
+				// is a guarded call.
+				for obj := range w.guarded {
+					nested.guarded[obj] = true
+				}
+				nested.loopDepth = w.loopDepth
+				nested.walkBody(n.Body)
+				return false
+			case *ast.CallExpr:
+				w.checkCall(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkExpr scans a condition or operand expression for recorder calls.
+func (w *obsWalker) checkExpr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			w.checkCall(call)
+		}
+		return true
+	})
+}
+
+// withGuards runs fn with the given objects temporarily marked guarded.
+func (w *obsWalker) withGuards(objs []types.Object, fn func()) {
+	var added []types.Object
+	for _, obj := range objs {
+		if !w.guarded[obj] {
+			w.guarded[obj] = true
+			added = append(added, obj)
+		}
+	}
+	fn()
+	for _, obj := range added {
+		delete(w.guarded, obj)
+	}
+}
+
+// checkCall applies both rules to one call expression.
+func (w *obsWalker) checkCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := sel.X
+	for {
+		if p, ok := recv.(*ast.ParenExpr); ok {
+			recv = p.X
+			continue
+		}
+		break
+	}
+	t := w.pass.TypeOf(recv)
+	if !isRecorderInterface(t) {
+		return
+	}
+	if w.loopDepth >= 2 {
+		w.pass.Reportf(call.Pos(),
+			"obs.Recorder.%s inside a nested loop: per-node instrumentation; accumulate locally and publish once per layer (//lint:obs to override)",
+			sel.Sel.Name)
+	}
+	id, ok := recv.(*ast.Ident)
+	if !ok {
+		w.pass.Reportf(call.Pos(),
+			"obs.Recorder.%s on an unnamed receiver: bind the recorder to a variable and nil-check it so the disabled path costs one branch",
+			sel.Sel.Name)
+		return
+	}
+	if obj := w.pass.ObjectOf(id); obj == nil || !w.guarded[obj] {
+		w.pass.Reportf(call.Pos(),
+			"obs.Recorder.%s not dominated by a nil check: guard with `if %s != nil` (Active returns nil when instrumentation is off)",
+			sel.Sel.Name, id.Name)
+	}
+}
+
+// nilNotEqualObjects returns the Recorder-typed objects x for which cond
+// guarantees x != nil when true (x != nil conjuncts of an && chain).
+func (w *obsWalker) nilNotEqualObjects(cond ast.Expr) []types.Object {
+	return w.nilCompareObjects(cond, token.NEQ, token.LAND)
+}
+
+// nilEqualObjects returns the Recorder-typed objects x for which cond
+// guarantees x == nil when true (x == nil disjuncts... conservatively, only
+// a bare x == nil or an || chain of them).
+func (w *obsWalker) nilEqualObjects(cond ast.Expr) []types.Object {
+	return w.nilCompareObjects(cond, token.EQL, token.LOR)
+}
+
+// nilCompareObjects collects idents compared to nil with op across chainOp
+// combinations of cond.
+func (w *obsWalker) nilCompareObjects(cond ast.Expr, op, chainOp token.Token) []types.Object {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return w.nilCompareObjects(e.X, op, chainOp)
+	case *ast.BinaryExpr:
+		if e.Op == chainOp {
+			return append(w.nilCompareObjects(e.X, op, chainOp), w.nilCompareObjects(e.Y, op, chainOp)...)
+		}
+		if e.Op != op {
+			return nil
+		}
+		var id *ast.Ident
+		if isNilIdent(e.Y) {
+			id, _ = e.X.(*ast.Ident)
+		} else if isNilIdent(e.X) {
+			id, _ = e.Y.(*ast.Ident)
+		}
+		if id == nil {
+			return nil
+		}
+		obj := w.pass.ObjectOf(id)
+		if obj == nil || !isRecorderInterface(obj.Type()) {
+			return nil
+		}
+		return []types.Object{obj}
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a block always leaves the enclosing block
+// (return, panic, continue, break, or goto as its last statement).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isRecorderInterface reports whether t is the named interface Recorder of
+// an obs package (matched by path suffix so fixtures can fake the package).
+func isRecorderInterface(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Recorder" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}

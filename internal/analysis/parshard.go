@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ParShard enforces worker-spawn hygiene at the engine's parallel fan-out
+// sites (ExploreParallel's frontier shards, NewFieldParallel's layer
+// sweeps, CertifyParallel). Two bugs recur in hand-rolled worker pools and
+// both destroy the engine's bit-identical parallel/serial equivalence or
+// deadlock it outright:
+//
+//   - capturing the loop variable in a `go func(){...}()` body: the
+//     engine's spawn sites pin each worker's shard by passing it as an
+//     argument; an implicit capture ties the worker to the loop's scoping
+//     semantics instead of its spawn-time input (and under pre-1.22
+//     semantics every worker observed the final index);
+//   - sending on an unbuffered channel from a spawned goroutine in a
+//     function that never receives from it and never blocks on a
+//     sync.WaitGroup: the send either deadlocks or the goroutine leaks
+//     past the barrier the merge step assumes.
+//
+// Both checks apply to every `go` statement with a function-literal body;
+// //lint:unsync suppresses a finding at a site with an external
+// synchronization argument.
+var ParShard = &Analyzer{
+	Name:     "parshard",
+	Suppress: "unsync",
+	Doc: "flag loop-variable captures and unsynchronized unbuffered-channel sends inside " +
+		"worker goroutines spawned at parallel fan-out sites",
+	Run: runParShard,
+}
+
+func runParShard(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkParShardFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkParShardFunc inspects one function body: it records which channel
+// objects the function receives from (or whether it waits on a WaitGroup),
+// tracks loop-variable scopes, and checks every go-statement closure
+// against both rules.
+func checkParShardFunc(pass *Pass, body *ast.BlockStmt) {
+	received, waits := collectSyncFacts(pass, body)
+
+	// Walk with an explicit stack of loop-variable objects so closures know
+	// which identifiers are iteration variables of an enclosing loop.
+	var loopVars []types.Object
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt:
+			mark := len(loopVars)
+			if init, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							loopVars = append(loopVars, obj)
+						}
+					}
+				}
+			}
+			walkChildren(n, walk)
+			loopVars = loopVars[:mark]
+			return
+		case *ast.RangeStmt:
+			mark := len(loopVars)
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						loopVars = append(loopVars, obj)
+					}
+				}
+			}
+			walkChildren(n, walk)
+			loopVars = loopVars[:mark]
+			return
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				checkSpawnedWorker(pass, lit, loopVars, received, waits)
+			}
+		}
+		walkChildren(n, walk)
+	}
+	walk(body)
+}
+
+// walkChildren applies walk to each direct child node of n.
+func walkChildren(n ast.Node, walk func(ast.Node)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		walk(c)
+		return false
+	})
+}
+
+// collectSyncFacts scans a function body for the synchronization constructs
+// that discharge the unbuffered-send rule: receives from channels (unary
+// <-ch, range over ch, select comm clauses, assignment receives) and
+// sync.WaitGroup Wait calls.
+func collectSyncFacts(pass *Pass, body *ast.BlockStmt) (received map[types.Object]bool, waits bool) {
+	received = make(map[types.Object]bool)
+	markRecv := func(e ast.Expr) {
+		if id, ok := unparen(e).(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil {
+				received[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				markRecv(n.X)
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					markRecv(n.X)
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if t := pass.TypeOf(sel.X); t != nil && isWaitGroup(t) {
+					waits = true
+				}
+			}
+		}
+		return true
+	})
+	return received, waits
+}
+
+// checkSpawnedWorker applies both hygiene rules to one spawned closure.
+func checkSpawnedWorker(pass *Pass, lit *ast.FuncLit, loopVars []types.Object, received map[types.Object]bool, waits bool) {
+	inLoop := make(map[types.Object]bool, len(loopVars))
+	for _, obj := range loopVars {
+		inLoop[obj] = true
+	}
+	// Identifiers declared by the closure's own parameters shadow loop
+	// variables; Uses entries resolve to the parameter object, so the map
+	// lookup below naturally misses them.
+	reportedVars := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[n]
+			if obj != nil && inLoop[obj] && !reportedVars[obj] {
+				reportedVars[obj] = true
+				pass.Reportf(n.Pos(),
+					"worker goroutine captures loop variable %s: spawn sites must pin each worker's shard by passing it as a closure argument, not an implicit capture",
+					n.Name)
+			}
+		case *ast.SendStmt:
+			chExpr := unparen(n.Chan)
+			t := pass.TypeOf(chExpr)
+			if t == nil {
+				return true
+			}
+			if !isUnbufferedChan(pass, chExpr) {
+				return true
+			}
+			id, ok := chExpr.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil || received[obj] || waits {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"worker goroutine sends on unbuffered channel %s but the spawning function neither receives from it nor waits on a sync.WaitGroup: the send blocks past the merge barrier (buffer the channel to the worker count, or //lint:unsync if synchronized externally)",
+				id.Name)
+		}
+		return true
+	})
+}
+
+// isUnbufferedChan reports whether the expression is a channel created by a
+// `make(chan T)` with no capacity argument visible in the same function or
+// file. Channels of unknown origin (parameters, fields) are assumed
+// buffered — the rule only fires on locally provable mistakes.
+func isUnbufferedChan(pass *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	def := findDefiningMake(pass, obj)
+	if def == nil {
+		return false
+	}
+	return len(def.Args) == 1 // make(chan T) — no capacity
+}
+
+// findDefiningMake locates the make(chan ...) call assigned to obj, if the
+// declaration is visible in the analyzed files.
+func findDefiningMake(pass *Pass, obj types.Object) *ast.CallExpr {
+	var def *ast.CallExpr
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if def != nil {
+				return false
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || pass.TypesInfo.Defs[id] != obj || i >= len(as.Rhs) {
+					continue
+				}
+				if call, ok := unparen(as.Rhs[i]).(*ast.CallExpr); ok {
+					if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "make" {
+						def = call
+					}
+				}
+			}
+			return true
+		})
+	}
+	return def
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup (possibly behind a
+// pointer).
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SentErr enforces wrapped-error discipline around the engine's sentinel
+// errors (core.ErrNodeBudget, the codec and validation sentinels). The
+// engine returns these wrapped with context — fmt.Errorf("explore depth
+// %d: %w", d, ErrNodeBudget) — so a direct `err == ErrNodeBudget`
+// comparison silently stops matching the moment a call site adds context.
+// errors.Is traverses the wrap chain; == compares one link. Any equality
+// or inequality comparison whose operand is a package-level exported
+// sentinel (an Err*-named variable of type error) is flagged.
+var SentErr = &Analyzer{
+	Name:     "senterr",
+	Suppress: "sentinel",
+	Doc: "flag ==/!= comparisons against sentinel error variables; wrapped errors only " +
+		"match through errors.Is",
+	Run: runSentErr,
+}
+
+func runSentErr(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			name, ok := sentinelOperand(pass, be.X)
+			if !ok {
+				name, ok = sentinelOperand(pass, be.Y)
+			}
+			if !ok {
+				return true
+			}
+			verb := "errors.Is(err, %s)"
+			if be.Op == token.NEQ {
+				verb = "!errors.Is(err, %s)"
+			}
+			pass.Reportf(be.Pos(),
+				"sentinel error %s compared with %s: the engine wraps sentinels with context, use "+verb,
+				name, be.Op, name)
+			return true
+		})
+	}
+	return nil
+}
+
+// isSentinelName matches the Go sentinel naming convention: "Err" followed
+// by an upper-case word start (ErrNodeBudget, ErrRange). Plain "Error" or
+// "Errs" style names are not sentinels.
+func isSentinelName(name string) bool {
+	if !strings.HasPrefix(name, "Err") || len(name) < 4 {
+		return false
+	}
+	c := name[3]
+	return c >= 'A' && c <= 'Z'
+}
+
+// sentinelOperand reports whether e names a package-level error variable
+// with the Err* naming convention, returning its display name.
+func sentinelOperand(pass *Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	v, ok := pass.ObjectOf(id).(*types.Var)
+	if !ok || !isSentinelName(v.Name()) {
+		return "", false
+	}
+	// Package-level: parent scope is the package scope.
+	if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	named, ok := v.Type().(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return "", false
+	}
+	return exprString(e), true
+}

@@ -1,0 +1,83 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func testdata(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestDetOrder(t *testing.T) {
+	analysistest.Run(t, testdata(t), analysis.DetOrder, "detorder")
+}
+
+func TestInternFreeze(t *testing.T) {
+	analysistest.Run(t, testdata(t), analysis.InternFreeze, "internfreeze")
+}
+
+func TestObsGuard(t *testing.T) {
+	analysistest.Run(t, testdata(t), analysis.ObsGuard, "obsguard")
+}
+
+func TestSentErr(t *testing.T) {
+	analysistest.Run(t, testdata(t), analysis.SentErr, "senterr")
+}
+
+func TestParShard(t *testing.T) {
+	analysistest.Run(t, testdata(t), analysis.ParShard, "parshard")
+}
+
+func TestAppliesScoping(t *testing.T) {
+	cases := []struct {
+		analyzer *analysis.Analyzer
+		pkg      string
+		want     bool
+	}{
+		{analysis.DetOrder, "repro/internal/core", true},
+		{analysis.DetOrder, "repro/internal/valence", true},
+		{analysis.DetOrder, "repro/internal/knowledge", true},
+		{analysis.DetOrder, "repro/internal/decision", true},
+		{analysis.DetOrder, "repro/internal/sim", false},
+		{analysis.DetOrder, "repro/internal/obs", false},
+		{analysis.ObsGuard, "repro/internal/obs", false},
+		{analysis.ObsGuard, "repro/internal/core", true},
+		{analysis.InternFreeze, "repro/internal/sim", true},
+		{analysis.SentErr, "repro/cmd/repro", true},
+		{analysis.ParShard, "repro/internal/core", true},
+	}
+	for _, c := range cases {
+		if got := analysis.Applies(c.analyzer, c.pkg); got != c.want {
+			t.Errorf("Applies(%s, %s) = %v, want %v", c.analyzer.Name, c.pkg, got, c.want)
+		}
+	}
+}
+
+func TestSuiteComplete(t *testing.T) {
+	all := analysis.All()
+	if len(all) != 5 {
+		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q incompletely declared", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Suppress == "" {
+			t.Errorf("analyzer %q has no escape-hatch token", a.Name)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package detorder exercises the detorder analyzer: map ranges without a
+// laundering sort, wall-clock reads, and unseeded math/rand are flagged;
+// sorted collection, slice ranges, seeded sources, and //lint:nondet
+// annotations are allowed.
+package detorder
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// BadMapRange folds over a map with no sort: flagged.
+func BadMapRange(edges map[string]int) int {
+	total := 0
+	for k, v := range edges { // want "range over map edges"
+		total += len(k) + v
+	}
+	return total
+}
+
+// GoodSortedKeys collects keys and sorts before use: allowed.
+func GoodSortedKeys(edges map[string]int) []string {
+	keys := make([]string, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodSliceRange ranges over a slice: allowed.
+func GoodSliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// AnnotatedMaxFold is order-insensitive and says so: allowed.
+func AnnotatedMaxFold(depths map[string]int) int {
+	max := 0
+	for _, d := range depths { //lint:nondet max is order-insensitive
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// BadClock reads the wall clock: flagged.
+func BadClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in a deterministic engine package"
+}
+
+// AnnotatedClock feeds instrumentation only: allowed.
+func AnnotatedClock() time.Time {
+	//lint:nondet instrumentation timing only
+	return time.Now()
+}
+
+// BadGlobalRand draws from the unseeded global source: flagged.
+func BadGlobalRand() int {
+	return rand.Intn(10) // want "unseeded math/rand call"
+}
+
+// GoodSeededRand builds an explicit seeded source: allowed.
+func GoodSeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}

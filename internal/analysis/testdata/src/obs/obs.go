@@ -1,0 +1,14 @@
+// Package obs is a fixture stand-in for the engine's observability layer:
+// the analyzer recognizes the Recorder interface by name and package-path
+// suffix, so this stub triggers the same checks as the real package.
+package obs
+
+// Recorder matches the real obs.Recorder shape closely enough for the
+// fixtures.
+type Recorder interface {
+	Event(name string)
+	Counter(name string, delta int)
+}
+
+// Active returns the process recorder, nil when instrumentation is off.
+func Active() Recorder { return nil }

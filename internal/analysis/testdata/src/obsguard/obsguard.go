@@ -1,0 +1,101 @@
+// Package obsguard exercises the obsguard analyzer: Recorder calls must be
+// dominated by a nil check, and must not sit two or more loops deep.
+package obsguard
+
+import "obs"
+
+// BadUnguarded calls the recorder with no nil check: flagged.
+func BadUnguarded(rec obs.Recorder) {
+	rec.Event("start") // want "not dominated by a nil check"
+}
+
+// GoodGuardedBranch wraps the call in an if rec != nil: allowed.
+func GoodGuardedBranch(rec obs.Recorder) {
+	if rec != nil {
+		rec.Event("start")
+		rec.Counter("layers", 1)
+	}
+}
+
+// GoodEarlyReturn guards the rest of the function with an early return:
+// allowed.
+func GoodEarlyReturn(rec obs.Recorder, layers int) {
+	if rec == nil {
+		return
+	}
+	rec.Event("start")
+	for i := 0; i < layers; i++ {
+		rec.Counter("layer", i)
+	}
+}
+
+// GoodActiveInit uses the if-init nil-test idiom: allowed.
+func GoodActiveInit() {
+	if rec := obs.Active(); rec != nil {
+		rec.Event("swept")
+	}
+}
+
+// BadElseBranch calls in the branch where the recorder is known nil:
+// flagged.
+func BadElseBranch(rec obs.Recorder) {
+	if rec != nil {
+		rec.Event("on")
+	} else {
+		rec.Event("off") // want "not dominated by a nil check"
+	}
+}
+
+// GoodElseOfNilTest calls in the else of an == nil test: allowed.
+func GoodElseOfNilTest(rec obs.Recorder) {
+	if rec == nil {
+		println("instrumentation off")
+	} else {
+		rec.Event("on")
+	}
+}
+
+// BadPerNode feeds the recorder inside a nested loop: per-node
+// instrumentation, flagged even though nil-guarded.
+func BadPerNode(rec obs.Recorder, layers [][]string) {
+	if rec == nil {
+		return
+	}
+	for _, layer := range layers {
+		for range layer {
+			rec.Counter("nodes", 1) // want "inside a nested loop"
+		}
+	}
+}
+
+// GoodPerLayer accumulates per node and publishes once per layer: allowed.
+func GoodPerLayer(rec obs.Recorder, layers [][]string) {
+	if rec == nil {
+		return
+	}
+	for _, layer := range layers {
+		n := 0
+		for range layer {
+			n++
+		}
+		rec.Counter("nodes", n)
+	}
+}
+
+// GoodGuardedClosure spawns a guarded closure: the guard at the creation
+// site dominates the deferred call.
+func GoodGuardedClosure(rec obs.Recorder) {
+	if rec != nil {
+		defer func() { rec.Event("done") }()
+	}
+}
+
+// BadUnguardedClosure captures an unguarded recorder: flagged.
+func BadUnguardedClosure(rec obs.Recorder) {
+	defer func() { rec.Event("done") }() // want "not dominated by a nil check"
+}
+
+// AnnotatedTrustedCall documents an externally guaranteed recorder: allowed.
+func AnnotatedTrustedCall(rec obs.Recorder) {
+	rec.Event("caller checks") //lint:obs caller guarantees non-nil
+}

@@ -1,0 +1,61 @@
+// Package senterr exercises the senterr analyzer: ==/!= against sentinel
+// error variables is flagged; errors.Is, nil comparisons, and non-error
+// Err-prefixed values are allowed.
+package senterr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNodeBudget mirrors the engine's budget sentinel.
+var ErrNodeBudget = errors.New("node budget exhausted")
+
+// ErrShortCodec mirrors a codec sentinel.
+var ErrShortCodec = errors.New("truncated codec input")
+
+// ErrCount is Err-prefixed but not an error: never flagged.
+var ErrCount = 3
+
+func explore() error {
+	return fmt.Errorf("depth 4: %w", ErrNodeBudget)
+}
+
+// BadEqual compares with ==: flagged.
+func BadEqual() bool {
+	err := explore()
+	return err == ErrNodeBudget // want "sentinel error ErrNodeBudget compared with =="
+}
+
+// BadNotEqual compares with !=: flagged.
+func BadNotEqual(err error) bool {
+	if err != ErrShortCodec { // want "sentinel error ErrShortCodec compared with !="
+		return true
+	}
+	return false
+}
+
+// BadReversed puts the sentinel on the left: flagged.
+func BadReversed(err error) bool {
+	return ErrNodeBudget == err // want "sentinel error ErrNodeBudget compared with =="
+}
+
+// GoodErrorsIs matches through the wrap chain: allowed.
+func GoodErrorsIs() bool {
+	return errors.Is(explore(), ErrNodeBudget)
+}
+
+// GoodNilCheck compares against nil, not a sentinel: allowed.
+func GoodNilCheck() bool {
+	return explore() == nil
+}
+
+// GoodNonErrorErr compares an Err-prefixed non-error: allowed.
+func GoodNonErrorErr(n int) bool {
+	return n == ErrCount
+}
+
+// AnnotatedIdentity documents a deliberate identity check: allowed.
+func AnnotatedIdentity(err error) bool {
+	return err == ErrNodeBudget //lint:sentinel identity check on unwrapped return
+}

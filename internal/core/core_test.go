@@ -61,7 +61,7 @@ func TestExploreBudget(t *testing.T) {
 // ErrDepthExceeded must remain the same error value as ErrNodeBudget so
 // that errors.Is works through either name.
 func TestErrDepthExceededAlias(t *testing.T) {
-	if core.ErrDepthExceeded != core.ErrNodeBudget {
+	if core.ErrDepthExceeded != core.ErrNodeBudget { //lint:sentinel alias identity is the property under test
 		t.Fatal("ErrDepthExceeded is no longer an alias of ErrNodeBudget")
 	}
 	if !errors.Is(core.ErrDepthExceeded, core.ErrNodeBudget) ||

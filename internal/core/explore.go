@@ -114,7 +114,7 @@ func (g *Graph) ReachedDepth() int {
 		return g.dense.ReachedDepth()
 	}
 	max := -1
-	for _, d := range g.DepthOf {
+	for _, d := range g.DepthOf { //lint:nondet max fold is order-insensitive
 		if d > max {
 			max = d
 		}
@@ -136,7 +136,15 @@ func (g *Graph) CheckDeterminism(m Model) error {
 			s = cache.Uncached()
 		}
 	}
-	for k, edges := range g.Edges {
+	// Iterate in sorted key order so a failure always reports the same
+	// offending state, not whichever the map happened to yield first.
+	keys := make([]string, 0, len(g.Edges))
+	for k := range g.Edges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		edges := g.Edges[k]
 		again := s.Successors(g.Nodes[k])
 		if len(again) != len(edges) {
 			return fmt.Errorf("core: successor count changed for state %q: %d then %d", k, len(edges), len(again))

@@ -6,11 +6,23 @@ package decision
 
 import (
 	"errors"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/simplex"
 )
+
+// sortedSimplexKeys returns the keys of a decided-simplex set in sorted
+// order, so constructions and diagnostics over the set are deterministic.
+func sortedSimplexKeys(decided map[string]simplex.Simplex) []string {
+	keys := make([]string, 0, len(decided))
+	for k := range decided {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // Covering is a pair of n-size complexes (O_0, O_1) covering the decided
 // output simplexes of a set of runs: every decided output simplex belongs
@@ -42,7 +54,8 @@ func ConsensusCovering(n int) Covering {
 // holds when both classes are inhabited, which CheckCovering verifies.
 func MinValueCovering(decided map[string]simplex.Simplex) Covering {
 	c := Covering{O0: simplex.NewComplex(), O1: simplex.NewComplex()}
-	for _, s := range decided {
+	for _, k := range sortedSimplexKeys(decided) {
+		s := decided[k]
 		min := 0
 		for i, v := range s.Vertices() {
 			if i == 0 || v.Value < min {
@@ -67,7 +80,8 @@ func MinValueCovering(decided map[string]simplex.Simplex) Covering {
 // Lemma 7.1 chain experiments.
 func CoveringByProcess(decided map[string]simplex.Simplex, pid int) Covering {
 	c := Covering{O0: simplex.NewComplex(), O1: simplex.NewComplex()}
-	for _, s := range decided {
+	for _, k := range sortedSimplexKeys(decided) {
+		s := decided[k]
 		if v, ok := s.ValueOf(pid); ok && v == 0 {
 			c.O0.Add(s)
 		} else {
@@ -212,7 +226,7 @@ func CollectDecidedSimplexes(m core.Model, depth, maxNodes int) (map[string]simp
 		return nil, err
 	}
 	out := make(map[string]simplex.Simplex)
-	for _, x := range g.Nodes {
+	for _, x := range g.Nodes { //lint:nondet builds a keyed map; result independent of visit order
 		if s, ok := DecidedSimplex(x); ok && s.Size() > 0 {
 			out[s.Key()] = s
 		}
@@ -298,8 +312,11 @@ func FieldValences(g *core.IDGraph, cover Covering) []uint8 {
 // decided output simplexes: every simplex is in O_0 ∪ O_1, and each O_v
 // contains at least one of them. It returns false with a reason otherwise.
 func CheckCovering(cover Covering, decided map[string]simplex.Simplex) (bool, string) {
+	// Sorted iteration pins which simplex an uncovered-reason names when
+	// several are outside both complexes.
 	saw0, saw1 := false, false
-	for _, s := range decided {
+	for _, k := range sortedSimplexKeys(decided) {
+		s := decided[k]
 		in0, in1 := cover.O0.Has(s), cover.O1.Has(s)
 		if !in0 && !in1 {
 			return false, "decided simplex " + s.String() + " is in neither complex"

@@ -46,15 +46,19 @@ func CheckThickNecessity(m core.Model, inits []core.State, n, k, depth, maxNodes
 			}
 		}
 	}
-	// Per-initial-state decided simplexes (reused across subsets).
-	perInit := make([]map[string]simplex.Simplex, len(inits))
+	// Per-initial-state decided simplexes (reused across subsets), flattened
+	// to key-sorted slices so every subset's complex is assembled in the
+	// same order regardless of map iteration.
+	perInit := make([][]simplex.Simplex, len(inits))
 	for i, x := range inits {
 		single := &singleInitModel{Model: m, init: x}
 		decided, err := CollectDecidedSimplexes(single, depth, maxNodes)
 		if err != nil {
 			return nil, err
 		}
-		perInit[i] = decided
+		for _, k := range sortedSimplexKeys(decided) {
+			perInit[i] = append(perInit[i], decided[k])
+		}
 	}
 
 	report := &NecessityReport{}

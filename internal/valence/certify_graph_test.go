@@ -1,6 +1,7 @@
 package valence_test
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -110,7 +111,7 @@ func TestCertifyGraphNotGraded(t *testing.T) {
 	if g.Graded() {
 		t.Skip("model graph unexpectedly graded")
 	}
-	if _, err := valence.CertifyGraph(g, 0); err != valence.ErrNotGraded {
+	if _, err := valence.CertifyGraph(g, 0); !errors.Is(err, valence.ErrNotGraded) {
 		t.Fatalf("CertifyGraph err = %v, want ErrNotGraded", err)
 	}
 	want, err := valence.Certify(m, 2, 0)

@@ -86,17 +86,25 @@ func SimilarityGraph(states []core.State) *graph.Undirected {
 		}
 		return g
 	}
+	// Bucket keys are replayed in first-insertion order (a function of the
+	// states slice), so the edge order — and with it the undirected graph's
+	// adjacency lists — is deterministic across runs.
 	buckets := make(map[string][]int, len(states))
+	order := make([]string, 0, len(states))
 	for idx, x := range states {
 		for j := 0; j < x.N(); j++ {
 			k := projectionKey(x, j)
+			if _, ok := buckets[k]; !ok {
+				order = append(order, k)
+			}
 			buckets[k] = append(buckets[k], idx)
 		}
 	}
 	type pair struct{ a, b int }
 	// A similar pair can share up to n buckets; record each edge once.
 	seen := make(map[pair]bool)
-	for _, b := range buckets {
+	for _, k := range order {
+		b := buckets[k]
 		for i := 0; i < len(b); i++ {
 			for j := i + 1; j < len(b); j++ {
 				p := pair{b[i], b[j]}
