@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race vet lint vettool bench profile clean
+.PHONY: all build test tier1 race vet lint vettool chaos bench profile clean
 
 all: tier1
 
@@ -32,21 +32,30 @@ race:
 	$(GO) test -race -run 'TestFieldPropertyMatchesOracle|TestCertifyGraphMatchesRecursive' ./internal/valence
 	$(GO) test -race ./internal/obs ./internal/cli ./cmd/lint
 
+# chaos runs the deterministic fault-injection suite under the race
+# detector: every named fault point (chaos.Points) is driven through the
+# delay/panic/cancel/budget matrix plus seeded random plans, and the
+# checkpoint/resume property tests replay interrupted explorations,
+# certifications, and field sweeps to bit-identical results.
+chaos:
+	$(GO) test -race ./internal/chaos
+	$(GO) test -race -run 'Checkpoint|Resum|Fault|Panic' ./internal/core ./internal/valence ./internal/resilient
+
 # tier1 is the gate every change must keep green: full build, vet, the
 # engine-invariant lint suite, the complete test suite (including the
-# golden experiment outputs in the root package), and the race detector
+# golden experiment outputs in the root package), the race detector
 # over the internal packages that use concurrency (parallel exploration,
 # parallel certification, shared successor caches, and the sharded
 # valence-field sweep, whose randomized property test is re-run explicitly
 # above; ./internal/... also covers internal/analysis and its fixture
-# tests).
-tier1: build vet lint test race
+# tests), and the chaos fault-injection suite.
+tier1: build vet lint test race chaos
 
-# bench regenerates BENCH_2.json from the E1–E11 experiment benchmarks and
-# the certifier benchmarks, and prints the per-row delta against the
-# committed PR 1 baseline BENCH_1.json.
+# bench regenerates BENCH_3.json from the E1–E11 experiment benchmarks,
+# the certifier benchmarks, and the resilience overhead rows, and prints
+# the per-row delta against the committed PR 3 baseline BENCH_2.json.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_2.json -baseline BENCH_1.json
+	$(GO) run ./cmd/bench -out BENCH_3.json -baseline BENCH_2.json
 
 # profile reruns the benchmark suites with CPU/heap profiling enabled and
 # leaves the profiles, test binaries, and a BENCH json under profiles/.

@@ -7,12 +7,16 @@ package layers_test
 // states explored, memoized valence entries, witness depth.
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
 	layers "repro"
+	"repro/internal/chaos"
+	"repro/internal/core"
 	"repro/internal/decision"
 	"repro/internal/protocols"
+	"repro/internal/resilient"
 	"repro/internal/tasks"
 	"repro/internal/valence"
 )
@@ -381,6 +385,115 @@ func BenchmarkE9_Extensions(b *testing.B) {
 			if st.TopSimplexes != 13 {
 				b.Fatal("subdivision wrong")
 			}
+		}
+	})
+}
+
+// BenchmarkResilience — overhead rows for the resilient execution layer.
+// checkpoint/write and checkpoint/load price the binary container on an
+// interrupted E1-sized exploration (n=5, cut at the layer-1 boundary);
+// cancel-poll compares the E1/n=5 analysis body under a live cancellation
+// context against the bare engines — the polled checks are one atomic load
+// per layer/shard, so the ctx row must stay within ~2% of base.
+func BenchmarkResilience(b *testing.B) {
+	interrupted := func(b *testing.B) error {
+		b.Helper()
+		m := layers.MobileS1(protocols.FloodSet{Rounds: 2}, 5)
+		chaos.Arm(chaos.NewPlan().Set("explore.layer", chaos.Rule{Hit: 2, Kind: chaos.KindCancel}))
+		_, perr := layers.ExploreIDCtx(nil, m, 2, 0, 1)
+		chaos.Disarm()
+		if perr == nil {
+			b.Fatal("chaos cut did not interrupt the exploration")
+		}
+		return perr
+	}
+	b.Run("checkpoint/write", func(b *testing.B) {
+		ck, ok := resilient.CheckpointFrom(interrupted(b))
+		if !ok {
+			b.Fatal("interrupted exploration carried no checkpoint")
+		}
+		var buf bytes.Buffer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			sections, err := ck.Sections()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := resilient.WriteSections(&buf, sections); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(buf.Len()))
+		b.ReportMetric(float64(buf.Len()), "ckpt-bytes")
+	})
+	b.Run("checkpoint/load", func(b *testing.B) {
+		ck, ok := resilient.CheckpointFrom(interrupted(b))
+		if !ok {
+			b.Fatal("interrupted exploration carried no checkpoint")
+		}
+		sections, err := ck.Sections()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := resilient.WriteSections(&buf, sections); err != nil {
+			b.Fatal(err)
+		}
+		raw := buf.Bytes()
+		b.SetBytes(int64(len(raw)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			back, err := resilient.ReadSections(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var explore []byte
+			for _, s := range back {
+				if s.Tag == resilient.TagExplore {
+					explore = s.Data
+				}
+			}
+			if _, err := core.DecodeExploreCheckpoint(explore); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	m := layers.MobileS1(protocols.FloodSet{Rounds: 2}, 5)
+	g, err := layers.ExploreIDParallel(m, 2, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e1Body := func(b *testing.B, ctx *layers.Ctx) {
+		inits := m.Inits()
+		if _, conn := valence.SetSDiameter(inits); !conn {
+			b.Fatal("Con_0 not similarity connected")
+		}
+		f, err := layers.NewFieldParallelCtx(ctx, g, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		found := false
+		for _, u := range g.Layer(0) {
+			if f.Bivalent(u) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			b.Fatal("no bivalent initial state")
+		}
+	}
+	b.Run("cancel-poll/e1/n=5/base", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e1Body(b, nil)
+		}
+	})
+	b.Run("cancel-poll/e1/n=5/ctx", func(b *testing.B) {
+		ctx, cancel := layers.WithCancel()
+		defer cancel()
+		for i := 0; i < b.N; i++ {
+			e1Body(b, ctx)
 		}
 	})
 }

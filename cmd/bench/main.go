@@ -10,6 +10,13 @@
 //	bench -out results.json -benchtime 2x
 //	bench -out BENCH_2.json -baseline BENCH_1.json   # print deltas too
 //	bench -profiledir profiles  # also write cpu/mem profiles per suite
+//	bench -deadline 5m          # stop between suites when the budget elapses
+//
+// SIGINT (or an elapsed -deadline) stops the run at the next suite
+// boundary; the suites measured so far are still written to -out and the
+// exit is nonzero. Benchmarks run in child `go test` processes, so
+// -checkpoint/-resume snapshot nothing here — rerun the remaining suites
+// instead.
 package main
 
 import (
@@ -71,6 +78,7 @@ func run(args []string) error {
 		profiledir = fs.String("profiledir", "", "write per-suite cpu/mem profiles and test binaries into `dir`")
 	)
 	obsFlags := cli.RegisterObs(fs)
+	resFlags := cli.RegisterResilience(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,6 +87,11 @@ func run(args []string) error {
 		return err
 	}
 	defer stopObs()
+	ctx, stopRes, err := resFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer stopRes()
 	if *profiledir != "" {
 		if err := os.MkdirAll(*profiledir, 0o755); err != nil {
 			return err
@@ -90,6 +103,7 @@ func run(args []string) error {
 		pattern string
 	}{
 		{"repro", "BenchmarkE"},
+		{"repro", "BenchmarkResilience"},
 		{"repro/internal/valence", "BenchmarkCertify"},
 	}
 	report := Report{
@@ -97,7 +111,12 @@ func run(args []string) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchtime:  *benchtime,
 	}
+	var interrupted error
 	for _, s := range suites {
+		if cerr := ctx.Err(); cerr != nil {
+			interrupted = fmt.Errorf("bench: run interrupted before %s (%s): %w", s.pkg, s.pattern, cerr)
+			break
+		}
 		testArgs := []string{"test", "-run", "^$",
 			"-bench", s.pattern, "-benchmem", "-benchtime", *benchtime}
 		if *profiledir != "" {
@@ -143,6 +162,9 @@ func run(args []string) error {
 		if err := printDelta(*baseline, &report); err != nil {
 			return fmt.Errorf("baseline delta: %w", err)
 		}
+	}
+	if interrupted != nil {
+		return resFlags.Finish(interrupted)
 	}
 	return nil
 }

@@ -8,6 +8,14 @@
 //	experiments                          # run everything
 //	experiments -only E5                 # run one experiment
 //	experiments -stats -journal run.jsonl  # with engine counters + event journal
+//
+// Runs are interruptible: SIGINT (or an elapsed -deadline) stops the
+// in-flight engine at its next poll point, saves the -checkpoint
+// snapshot, and exits nonzero; -resume picks the interrupted computation
+// back up with results identical to an uninterrupted run:
+//
+//	experiments -only E5 -deadline 10s -checkpoint e5.ckpt
+//	experiments -only E5 -resume e5.ckpt
 package main
 
 import (
@@ -35,6 +43,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	only := fs.String("only", "", "run a single experiment (E1..E11)")
 	obsFlags := cli.RegisterObs(fs)
+	resFlags := cli.RegisterResilience(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,9 +52,14 @@ func run(args []string) error {
 		return err
 	}
 	defer stopObs()
+	ctx, stopRes, err := resFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer stopRes()
 	all := []struct {
 		id  string
-		fn  func() error
+		fn  func(*layers.Ctx) error
 		hdr string
 	}{
 		{"E1", e1, "Lemma 3.6: structure of Con_0"},
@@ -65,25 +79,28 @@ func run(args []string) error {
 			continue
 		}
 		fmt.Printf("== %s — %s ==\n", e.id, e.hdr)
-		if err := e.fn(); err != nil {
-			return fmt.Errorf("%s: %w", e.id, err)
+		if err := e.fn(ctx); err != nil {
+			return resFlags.Finish(fmt.Errorf("%s: %w", e.id, err))
 		}
 		fmt.Println()
 	}
 	return nil
 }
 
-func e1() error {
+func e1(ctx *layers.Ctx) error {
 	fmt.Println("n  |Con0|  s-diam  connected  bivalent-init")
 	for n := 2; n <= 5; n++ {
 		m := layers.MobileS1(layers.FloodSet{Rounds: 2}, n)
 		inits := m.Inits()
 		d, conn := valence.SetSDiameter(inits)
-		g, err := layers.ExploreIDParallel(m, 2, 0, 0)
+		g, err := layers.ExploreIDCtx(ctx, m, 2, 0, 0)
 		if err != nil {
 			return err
 		}
-		f := layers.NewFieldParallel(g, 0)
+		f, err := layers.NewFieldParallelCtx(ctx, g, 0)
+		if err != nil {
+			return err
+		}
 		found := false
 		for _, u := range g.Layer(0) {
 			if f.Bivalent(u) {
@@ -99,7 +116,7 @@ func e1() error {
 	return nil
 }
 
-func e2() error {
+func e2(ctx *layers.Ctx) error {
 	fmt.Println("n  B  layers-sim-conn  verdict               witness-depth  visits")
 	for _, cfg := range []struct{ n, b int }{{3, 2}, {3, 3}, {4, 2}} {
 		m := layers.MobileS1(layers.FloodSet{Rounds: cfg.b}, cfg.n)
@@ -110,7 +127,7 @@ func e2() error {
 				simOK = false
 			}
 		}
-		w, err := layers.CertifyFast(m, cfg.b, 0)
+		w, err := layers.CertifyFastCtx(ctx, m, cfg.b, 0)
 		if err != nil {
 			return err
 		}
@@ -122,7 +139,7 @@ func e2() error {
 	return nil
 }
 
-func e3() error {
+func e3(ctx *layers.Ctx) error {
 	const n = 3
 	// Bridge check over all inputs and j.
 	m := layers.SharedMemory(layers.SMVote{Phases: 2}, n)
@@ -154,7 +171,7 @@ func e3() error {
 	return nil
 }
 
-func e4() error {
+func e4(ctx *layers.Ctx) error {
 	const n = 3
 	fi := layers.AsyncMessagePassing(layers.MPFullInfo{}, n)
 	x := fi.Initial([]int{0, 1, 1})
@@ -188,19 +205,19 @@ func e4() error {
 	return nil
 }
 
-func e5() error {
+func e5(ctx *layers.Ctx) error {
 	fmt.Println("n  t  FloodSet(t+1)  visits  FloodSet(t)           witness-depth")
 	for _, cfg := range []struct{ n, t int }{{3, 1}, {4, 1}, {4, 2}, {5, 3}, {6, 2}} {
 		// The t-round protocol is refuted first and the t+1-round one
 		// certified second, so a -journal run's final certify.done event
 		// carries the Explored count this table prints.
 		fast := layers.SyncSt(layers.FloodSet{Rounds: cfg.t}, cfg.n, cfg.t)
-		wf, err := layers.CertifyFast(fast, cfg.t, 50_000_000)
+		wf, err := layers.CertifyFastCtx(ctx, fast, cfg.t, 50_000_000)
 		if err != nil {
 			return err
 		}
 		good := layers.SyncSt(layers.FloodSet{Rounds: cfg.t + 1}, cfg.n, cfg.t)
-		wg, err := layers.CertifyFast(good, cfg.t+1, 50_000_000)
+		wg, err := layers.CertifyFastCtx(ctx, good, cfg.t+1, 50_000_000)
 		if err != nil {
 			return err
 		}
@@ -213,13 +230,13 @@ func e5() error {
 	return nil
 }
 
-func e6() error {
+func e6(ctx *layers.Ctx) error {
 	fmt.Println("n  t  states-checked  all-univalent")
 	for _, cfg := range []struct{ n, t int }{{3, 1}, {4, 2}} {
 		rounds := cfg.t + 1
 		p := layers.FloodSet{Rounds: rounds}
 		m := layers.SyncSt(p, cfg.n, cfg.t)
-		g, err := layers.Explore(m, rounds-1, 0)
+		g, err := layers.ExploreCtx(ctx, m, rounds-1, 0)
 		if err != nil {
 			return err
 		}
@@ -239,7 +256,7 @@ func e6() error {
 	return nil
 }
 
-func e7() error {
+func e7(ctx *layers.Ctx) error {
 	for _, n := range []int{2, 3} {
 		fmt.Printf("n=%d:\n", n)
 		for _, task := range tasks.Zoo(n) {
@@ -265,10 +282,10 @@ func e7() error {
 	return nil
 }
 
-func e8() error {
+func e8(ctx *layers.Ctx) error {
 	const n, t, depth = 3, 2, 2
 	m := layers.SyncSt(protocols.FullInfo{}, n, t)
-	g, err := layers.Explore(m, depth, 0)
+	g, err := layers.ExploreCtx(ctx, m, depth, 0)
 	if err != nil {
 		return err
 	}
@@ -297,13 +314,13 @@ func e8() error {
 	return nil
 }
 
-func e9() error {
+func e9(ctx *layers.Ctx) error {
 	// E9a: wasted faults in the multi-failure layering.
 	{
 		const n, tt, c = 4, 2, 2
 		rounds := tt + 1
 		m := layers.SyncStMulti(protocols.FloodSet{Rounds: rounds}, n, tt, c)
-		g, err := layers.Explore(m, rounds, 0)
+		g, err := layers.ExploreCtx(ctx, m, rounds, 0)
 		if err != nil {
 			return err
 		}
@@ -363,7 +380,7 @@ func e9() error {
 	return nil
 }
 
-func e10() error {
+func e10(ctx *layers.Ctx) error {
 	const n = 3
 	m := layers.MobileS1(layers.FloodSet{Rounds: 1}, n)
 	// Ternary inputs.
@@ -394,11 +411,11 @@ func e10() error {
 	return nil
 }
 
-func e11() error {
+func e11(ctx *layers.Ctx) error {
 	const n, tt = 3, 1
 	rounds := tt + 1
 	m := layers.SyncSt(layers.FloodSet{Rounds: rounds}, n, tt)
-	g, err := layers.ExploreIDParallel(m, rounds, 0, 0)
+	g, err := layers.ExploreIDCtx(ctx, m, rounds, 0, 0)
 	if err != nil {
 		return err
 	}

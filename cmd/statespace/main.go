@@ -7,6 +7,14 @@
 //
 //	statespace -model mobile -n 3 -bound 2 -depth 2 > graph.dot
 //	statespace -model sync-st -n 3 -t 1 -bound 2 -depth 2 -max 150
+//
+// Long explorations are interruptible: SIGINT (or an elapsed -deadline)
+// stops at the next layer boundary, writes the -checkpoint snapshot, and
+// exits nonzero; rerunning with -resume finishes the exploration with a
+// graph bit-identical to an uninterrupted run's:
+//
+//	statespace -model sync-st -n 5 -t 2 -bound 3 -depth 3 -checkpoint st.ckpt
+//	statespace -model sync-st -n 5 -t 2 -bound 3 -depth 3 -resume st.ckpt
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/resilient"
 	"repro/internal/trace"
 )
 
@@ -39,6 +48,7 @@ func run(args []string, out *os.File) error {
 		max   = fs.Int("max", 200, "max nodes rendered (0 = all)")
 	)
 	obsFlags := cli.RegisterObs(fs)
+	resFlags := cli.RegisterResilience(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,12 +57,25 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 	defer stopObs()
+	ctx, stopRes, err := resFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer stopRes()
 	m, err := cli.Build(cli.Spec{Model: *model, N: *n, T: *t, Bound: *bound})
 	if err != nil {
 		return err
 	}
-	g, err := core.Explore(m, *depth, 1_000_000)
+	g, err := core.ExploreCtx(ctx, m, *depth, 1_000_000)
 	if err != nil {
+		if errors.Is(err, resilient.ErrPartial) && !errors.Is(err, core.ErrNodeBudget) {
+			// Canceled or past deadline: save the checkpoint, report the
+			// partial graph, and exit nonzero.
+			if g != nil {
+				fmt.Fprintf(os.Stderr, "statespace: partial graph: %d states\n", g.Len())
+			}
+			return resFlags.Finish(err)
+		}
 		if !errors.Is(err, core.ErrNodeBudget) {
 			return err
 		}

@@ -24,11 +24,18 @@ import (
 // level; anything deeper iterates states or edges). Such counters must be
 // accumulated locally and published once per layer, as exploreID and the
 // field sweep do.
+//
+// Exception: a recover block — `if r := recover(); r != nil { ... }`, the
+// panic-containment idiom of resilient.Pool's workers — is a valid
+// recorder-call dominator for rule 2: it runs at most once per frame no
+// matter how many loops enclose it, so recording a panic there is a cold
+// path, not per-node instrumentation. Rule 1 still applies inside it.
 var ObsGuard = &Analyzer{
 	Name:     "obsguard",
 	Suppress: "obs",
 	Doc: "flag obs.Recorder calls not dominated by a nil check, and recorder calls nested " +
-		"two or more loops deep (per-node instrumentation must batch per layer)",
+		"two or more loops deep (per-node instrumentation must batch per layer); " +
+		"recover blocks are exempt from the nesting rule",
 	Run: runObsGuard,
 }
 
@@ -88,7 +95,17 @@ func (w *obsWalker) walkStmt(stmt ast.Stmt) {
 		w.checkExpr(s.Cond)
 		// `if x != nil { ... }` guards the then-branch;
 		// `if x == nil { ... } else { ... }` guards the else-branch.
-		w.withGuards(w.nilNotEqualObjects(s.Cond), func() { w.walkBody(s.Body) })
+		if isRecoverGuard(s) {
+			// A recover block runs at most once per frame regardless of
+			// enclosing loops: recording the panic there is a cold path, so
+			// the nesting rule is suspended inside it.
+			saved := w.loopDepth
+			w.loopDepth = 0
+			w.withGuards(w.nilNotEqualObjects(s.Cond), func() { w.walkBody(s.Body) })
+			w.loopDepth = saved
+		} else {
+			w.withGuards(w.nilNotEqualObjects(s.Cond), func() { w.walkBody(s.Body) })
+		}
 		if s.Else != nil {
 			w.withGuards(w.nilEqualObjects(s.Cond), func() { w.walkStmt(s.Else) })
 		}
@@ -275,6 +292,47 @@ func (w *obsWalker) nilCompareObjects(cond ast.Expr, op, chainOp token.Token) []
 func isNilIdent(e ast.Expr) bool {
 	id, ok := e.(*ast.Ident)
 	return ok && id.Name == "nil"
+}
+
+// isRecoverGuard reports whether the if-statement is the panic-containment
+// idiom `if r := recover(); r != nil` (or a bare `if recover() != nil`).
+func isRecoverGuard(s *ast.IfStmt) bool {
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.NEQ {
+		return false
+	}
+	var tested ast.Expr
+	switch {
+	case isNilIdent(cond.Y):
+		tested = cond.X
+	case isNilIdent(cond.X):
+		tested = cond.Y
+	default:
+		return false
+	}
+	if isRecoverCall(tested) {
+		return true
+	}
+	id, ok := tested.(*ast.Ident)
+	if !ok || s.Init == nil {
+		return false
+	}
+	asg, ok := s.Init.(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := asg.Lhs[0].(*ast.Ident)
+	return ok && lhs.Name == id.Name && isRecoverCall(asg.Rhs[0])
+}
+
+// isRecoverCall reports whether e is a call of the recover builtin.
+func isRecoverCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "recover"
 }
 
 // terminates reports whether a block always leaves the enclosing block

@@ -99,3 +99,53 @@ func BadUnguardedClosure(rec obs.Recorder) {
 func AnnotatedTrustedCall(rec obs.Recorder) {
 	rec.Event("caller checks") //lint:obs caller guarantees non-nil
 }
+
+// GoodRecoverBlock records a contained panic from a recover block deep in
+// looped worker code: a recover block runs at most once per frame, so the
+// nesting rule does not apply (the nil guard still does).
+func GoodRecoverBlock(shards [][]func()) {
+	for _, shard := range shards {
+		for _, job := range shard {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if rec := obs.Active(); rec != nil {
+							rec.Counter("pool.panics", 1)
+							rec.Event("pool.panic")
+						}
+					}
+				}()
+				job()
+			}()
+		}
+	}
+}
+
+// BadRecoverBlockUnguarded shows rule 1 survives the recover exemption:
+// an unguarded recorder in a recover block is still flagged.
+func BadRecoverBlockUnguarded(rec obs.Recorder, job func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			rec.Event("panic") // want "not dominated by a nil check"
+		}
+	}()
+	job()
+}
+
+// BadLoopInsideRecover nests a fresh loop inside the recover block: the
+// exemption resets the outer nesting, but loops opened inside the block
+// count again.
+func BadLoopInsideRecover(rec obs.Recorder, shards [][]func()) {
+	if rec == nil {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			for _, shard := range shards {
+				for range shard {
+					rec.Counter("nodes", 1) // want "inside a nested loop"
+				}
+			}
+		}
+	}()
+}

@@ -110,7 +110,9 @@ func (f *ObsFlags) Start() (stop func(), err error) {
 			}
 		}
 		if journalFile != nil {
-			if jerr := m.JournalErr(); jerr != nil {
+			if serr := m.SyncJournal(); serr != nil {
+				fmt.Fprintf(os.Stderr, "obs: journal flush: %v\n", serr)
+			} else if jerr := m.JournalErr(); jerr != nil {
 				fmt.Fprintf(os.Stderr, "obs: journal: %v\n", jerr)
 			}
 			if cerr := journalFile.Close(); cerr != nil {

@@ -1,0 +1,129 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resilient"
+)
+
+// ResilienceFlags holds the shared cancellation/checkpoint flags of the
+// command-line tools.
+type ResilienceFlags struct {
+	// Deadline, when positive, cancels the run with ErrDeadline after it
+	// elapses.
+	Deadline time.Duration
+	// Checkpoint, when non-empty, is the path an interrupted run writes its
+	// resumable snapshot to.
+	Checkpoint string
+	// Resume, when non-empty, is the path of a checkpoint file to resume
+	// from.
+	Resume string
+}
+
+// RegisterResilience registers the shared -deadline/-checkpoint/-resume
+// flags on a flag set.
+func RegisterResilience(fs *flag.FlagSet) *ResilienceFlags {
+	f := &ResilienceFlags{}
+	fs.DurationVar(&f.Deadline, "deadline", 0, "cancel the run after `duration` (0 = none)")
+	fs.StringVar(&f.Checkpoint, "checkpoint", "", "write a resumable snapshot to `file` when interrupted")
+	fs.StringVar(&f.Resume, "resume", "", "resume from the checkpoint `file` of an interrupted run")
+	return f
+}
+
+// Start builds the run's cancellation context: the -deadline timer is
+// armed, the -resume checkpoint's sections are loaded into the context,
+// and SIGINT is routed to cancellation — the first signal cancels the
+// context (the engines stop at the next poll with a checkpoint attached
+// to their error), a second force-exits after flushing the journal. The
+// returned stop function releases the timer and the signal handler.
+func (f *ResilienceFlags) Start() (*resilient.Ctx, func(), error) {
+	var ctx *resilient.Ctx
+	var release func()
+	if f.Deadline > 0 {
+		ctx, release = resilient.WithDeadline(f.Deadline)
+	} else {
+		ctx, _ = resilient.WithCancel()
+		release = func() {}
+	}
+	if f.Resume != "" {
+		sections, err := resilient.LoadFile(f.Resume)
+		if err != nil {
+			release()
+			return nil, nil, fmt.Errorf("resume: %w", err)
+		}
+		ctx.SetResume(sections)
+	}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt)
+	done := make(chan struct{})
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-done:
+				return
+			case <-sig:
+				n++
+				if n == 1 {
+					fmt.Fprintln(os.Stderr, "interrupt: stopping at the next safe point (interrupt again to force exit)")
+					ctx.Cancel(fmt.Errorf("%w: interrupted by signal", resilient.ErrCanceled))
+					continue
+				}
+				syncActiveJournal()
+				os.Exit(130)
+			}
+		}
+	}()
+	stop := func() {
+		signal.Stop(sig)
+		close(done)
+		release()
+	}
+	return ctx, stop, nil
+}
+
+// Finish post-processes a run error: interruption-family errors (anything
+// wrapping resilient.ErrPartial) get their attached checkpoint saved to
+// -checkpoint and a final run.interrupted event emitted with the
+// checkpoint path, so the journal's tail explains the stop. Other errors
+// (and nil) pass through untouched. The returned error is non-nil exactly
+// when err was, so callers keep their nonzero exit.
+func (f *ResilienceFlags) Finish(err error) error {
+	if err == nil || !errors.Is(err, resilient.ErrPartial) {
+		return err
+	}
+	saved := ""
+	if f.Checkpoint != "" {
+		ok, serr := resilient.SaveCheckpoint(f.Checkpoint, err)
+		switch {
+		case serr != nil:
+			err = fmt.Errorf("%w (checkpoint not saved: %v)", err, serr)
+		case ok:
+			saved = f.Checkpoint
+			err = fmt.Errorf("%w (checkpoint saved to %s; rerun with -resume %s)", err, saved, saved)
+		}
+	}
+	if rec := obs.Active(); rec != nil {
+		rec.Event("run.interrupted",
+			obs.F{Key: "cause", Value: err.Error()},
+			obs.F{Key: "checkpoint", Value: saved})
+	}
+	syncActiveJournal()
+	return err
+}
+
+// syncActiveJournal flushes the active recorder's journal tail, when the
+// recorder has one — on interrupt paths the buffered tail holds exactly
+// the events explaining the stop.
+func syncActiveJournal() {
+	if s, ok := obs.Active().(interface{ SyncJournal() error }); ok {
+		_ = s.SyncJournal()
+	}
+}

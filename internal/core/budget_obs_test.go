@@ -93,6 +93,9 @@ func TestExploreObsCounters(t *testing.T) {
 		t.Errorf("cache.states = %d, want >= %d", got, g.Len())
 	}
 
+	if err := rec.SyncJournal(); err != nil {
+		t.Fatal(err)
+	}
 	type line struct {
 		Event    string           `json:"event"`
 		Fields   map[string]any   `json:"fields"`
@@ -141,6 +144,9 @@ func TestExploreObsBudgetEvent(t *testing.T) {
 	}
 	if rec.Counter("explore.budget_hits") != 1 {
 		t.Error("explore.budget_hits not counted")
+	}
+	if err := rec.SyncJournal(); err != nil {
+		t.Fatal(err)
 	}
 	sc := bufio.NewScanner(&buf)
 	var last struct {

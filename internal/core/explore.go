@@ -1,17 +1,20 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/resilient"
 )
 
 // ErrNodeBudget is returned by Explore when the reachable state graph
 // exceeds the configured node budget before the depth bound is reached. The
 // partial graph explored so far is returned alongside the wrapped error, so
-// callers can report how far exploration got.
-var ErrNodeBudget = errors.New("core: exploration exceeded node budget")
+// callers can report how far exploration got. As a resilient.Sentinel it
+// wraps resilient.ErrPartial, joining the canceled/deadline family under
+// one degradation check.
+var ErrNodeBudget = resilient.Sentinel("core: exploration exceeded node budget")
 
 // ErrDepthExceeded is the old, misleading name for ErrNodeBudget (the
 // condition it reports is node-budget exhaustion, not a depth bound).
@@ -76,6 +79,28 @@ func Explore(m Model, depth, maxNodes int) (*Graph, error) {
 // budget-exhaustion point — is bit-identical to Explore's.
 func ExploreParallel(m Model, depth, maxNodes, workers int) (*Graph, error) {
 	ig, err := ExploreIDParallel(m, depth, maxNodes, workers)
+	return ig.Legacy(), err
+}
+
+// ExploreCtx is Explore under a cancellation context; see ExploreIDCtx for
+// the cancellation, checkpoint, and resume contract. The partial graph
+// accompanying an interruption error is a valid Graph over the completed
+// layers.
+func ExploreCtx(ctx *resilient.Ctx, m Model, depth, maxNodes int) (*Graph, error) {
+	ig, err := ExploreIDCtx(ctx, m, depth, maxNodes, 1)
+	if ig == nil {
+		return nil, err
+	}
+	return ig.Legacy(), err
+}
+
+// ExploreParallelCtx is ExploreParallel under a cancellation context; see
+// ExploreIDCtx for the cancellation, checkpoint, and resume contract.
+func ExploreParallelCtx(ctx *resilient.Ctx, m Model, depth, maxNodes, workers int) (*Graph, error) {
+	ig, err := ExploreIDCtx(ctx, m, depth, maxNodes, workers)
+	if ig == nil {
+		return nil, err
+	}
 	return ig.Legacy(), err
 }
 

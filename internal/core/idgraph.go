@@ -1,11 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/obs"
+	"repro/internal/resilient"
 )
 
 // IDGraph is the dense-id form of an explored reachable state graph: nodes
@@ -204,7 +207,7 @@ func (g *IDGraph) padEdgeStart() {
 // exhaustion the partial graph explored so far is returned alongside the
 // wrapped ErrNodeBudget.
 func ExploreID(m Model, depth, maxNodes int) (*IDGraph, error) {
-	return exploreID(m, depth, maxNodes, 1)
+	return ExploreIDCtx(nil, m, depth, maxNodes, 1)
 }
 
 // ExploreIDParallel is ExploreID with the successor enumeration of each
@@ -214,13 +217,36 @@ func ExploreID(m Model, depth, maxNodes int) (*IDGraph, error) {
 // graph — node numbering, edge order, depths, and any budget-exhaustion
 // point — is bit-identical to ExploreID's.
 func ExploreIDParallel(m Model, depth, maxNodes, workers int) (*IDGraph, error) {
+	return ExploreIDCtx(nil, m, depth, maxNodes, workers)
+}
+
+// ExploreIDCtx is ExploreIDParallel under a cancellation context.
+// Cancellation (and the chaos explore.layer fault point) is checked once
+// per layer, so a live run pays one atomic load per BFS depth; worker
+// goroutines additionally poll per shard. When the context fires, the
+// partial graph explored to the last completed layer is returned alongside
+// a wrapped ErrCanceled/ErrDeadline carrying a resilient.Checkpointer for
+// the cut, and the unresolved frontier is the deepest populated layer
+// (g.Layer(g.ReachedDepth())).
+//
+// If ctx carries a resume snapshot (resilient.TagExplore) matching this
+// model, depth, and budget, exploration continues from the snapshot's
+// layer boundary instead of starting fresh; the finished graph is
+// bit-identical to an uninterrupted run's.
+func ExploreIDCtx(ctx *resilient.Ctx, m Model, depth, maxNodes, workers int) (*IDGraph, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return exploreID(m, depth, maxNodes, workers)
-}
-
-func exploreID(m Model, depth, maxNodes, workers int) (*IDGraph, error) {
+	if data := ctx.PeekResume(resilient.TagExplore); data != nil {
+		ck, err := DecodeExploreCheckpoint(data)
+		if err != nil {
+			return nil, err
+		}
+		if ck.Matches(m, depth, maxNodes) {
+			ctx.TakeResume(resilient.TagExplore)
+			return ResumeExploreID(ctx, m, ck, workers)
+		}
+	}
 	rec := obs.Active()
 	defer obs.Span(rec, "explore.time")()
 	c := CacheOf(m)
@@ -247,9 +273,23 @@ func exploreID(m Model, depth, maxNodes, workers int) (*IDGraph, error) {
 			obs.F{Key: "workers", Value: workers},
 			obs.F{Key: "inits", Value: len(frontier)})
 	}
-	for d := 0; d < depth && len(frontier) > 0; d++ {
+	return continueExplore(ctx, m, g, cacheToNode, frontier, 0, maxNodes, workers, rec)
+}
+
+// continueExplore runs the layer loop from startDepth, whose frontier is
+// the nodes first reached there, over a graph with every earlier layer
+// fully expanded. It is the shared tail of a fresh exploration and a
+// checkpoint resume.
+func continueExplore(ctx *resilient.Ctx, m Model, g *IDGraph, cacheToNode map[uint32]uint32, frontier []uint32, startDepth, maxNodes, workers int, rec obs.Recorder) (*IDGraph, error) {
+	c := g.Cache
+	for d := startDepth; d < g.Depth && len(frontier) > 0; d++ {
+		if err := stopPoint(ctx, "explore.layer"); err != nil {
+			return g.interrupted(m, rec, d, maxNodes, err)
+		}
 		if workers > 1 {
-			warmFrontier(c, g, frontier, workers)
+			if err := warmFrontier(ctx, c, g, frontier, workers); err != nil {
+				return g.interrupted(m, rec, d, maxNodes, err)
+			}
 		}
 		edgesBefore := len(g.EdgeTo)
 		var next []uint32
@@ -297,6 +337,40 @@ func exploreID(m Model, depth, maxNodes, workers int) (*IDGraph, error) {
 	return g, nil
 }
 
+// stopPoint is the per-layer interruption probe: the context's cancel flag
+// (one atomic load when live) and the named chaos fault point (one atomic
+// load when disarmed). Injected budget faults are routed through
+// ErrNodeBudget so they surface exactly like a real exhausted budget —
+// while still carrying the layer-boundary checkpoint, unlike a genuine
+// mid-layer budget stop.
+func stopPoint(ctx *resilient.Ctx, point string) error {
+	err := chaos.Check(ctx, point)
+	var f *chaos.Fault
+	if errors.As(err, &f) && f.Kind == chaos.KindBudget {
+		return fmt.Errorf("%w: %w", ErrNodeBudget, err)
+	}
+	return err
+}
+
+// interrupted finalizes a layer-boundary cut: the partial graph (layers
+// 0..nextDepth-1 expanded, frontier = layer nextDepth untouched) is
+// returned alongside the cause, wrapped with a Checkpointer so callers
+// holding a -checkpoint path can persist the cut and resume it later.
+func (g *IDGraph) interrupted(m Model, rec obs.Recorder, nextDepth, maxNodes int, cause error) (*IDGraph, error) {
+	g.padEdgeStart()
+	if rec != nil {
+		rec.Add("explore.interrupts", 1)
+		rec.Event("explore.interrupted",
+			obs.F{Key: "model", Value: m.Name()},
+			obs.F{Key: "next_depth", Value: nextDepth},
+			obs.F{Key: "nodes", Value: g.Len()},
+			obs.F{Key: "cause", Value: cause.Error()})
+	}
+	ck := &ExploreCheckpoint{Model: m.Name(), Depth: g.Depth, MaxNodes: maxNodes, NextDepth: nextDepth, g: g}
+	err := fmt.Errorf("core: exploration interrupted at depth %d (%d nodes): %w", nextDepth, g.Len(), cause)
+	return g, resilient.WithCheckpoint(err, ck)
+}
+
 // finishExplore publishes the exploration's final counters — including the
 // shared successor cache's hit/fill/interned-bytes view — and emits the
 // closing journal event. budgetHit marks a partial graph returned with
@@ -325,39 +399,36 @@ func (g *IDGraph) finishExplore(rec obs.Recorder, budgetHit bool) {
 }
 
 // warmFrontier enumerates the successors of a frontier's nodes into the
-// shared cache from workers goroutines, one contiguous shard each. Only the
-// cache is written (it is concurrency-safe); the caller then merges in
-// frontier order, hitting the warmed entries.
-func warmFrontier(c *SuccessorCache, g *IDGraph, frontier []uint32, workers int) {
+// shared cache, one contiguous shard per pool worker. Only the cache is
+// written (it is concurrency-safe) and cache writes are idempotent, so a
+// shard abandoned to cancellation or a contained panic leaves the graph
+// untouched: the caller treats any error as an interruption at the top of
+// the layer, and a resumed run simply re-warms. The serial merge that
+// follows reads the warmed entries in frontier order.
+func warmFrontier(ctx *resilient.Ctx, c *SuccessorCache, g *IDGraph, frontier []uint32, workers int) error {
 	if workers > len(frontier) {
 		workers = len(frontier)
 	}
 	if workers <= 1 {
-		return
+		return nil
 	}
-	shard := (len(frontier) + workers - 1) / workers
-	done := make(chan struct{}, workers)
-	started := 0
-	for w := 0; w < workers; w++ {
-		lo := w * shard
-		if lo >= len(frontier) {
-			break
+	shardLen := (len(frontier) + workers - 1) / workers
+	shards := (len(frontier) + shardLen - 1) / shardLen
+	pool := resilient.Pool{Workers: workers}
+	return pool.Run(ctx, shards, func(sctx *resilient.Ctx, shard int) error {
+		if err := stopPoint(sctx, "explore.warm"); err != nil {
+			return err
 		}
-		hi := lo + shard
+		lo := shard * shardLen
+		hi := lo + shardLen
 		if hi > len(frontier) {
 			hi = len(frontier)
 		}
-		started++
-		go func(part []uint32) {
-			for _, u := range part {
-				c.SuccessorsOf(g.cacheIDs[u], g.States[u])
-			}
-			done <- struct{}{}
-		}(frontier[lo:hi])
-	}
-	for w := 0; w < started; w++ {
-		<-done
-	}
+		for _, u := range frontier[lo:hi] {
+			c.SuccessorsOf(g.cacheIDs[u], g.States[u])
+		}
+		return nil
+	})
 }
 
 // Legacy materializes the string-keyed Graph view of the dense graph. The

@@ -6,10 +6,13 @@ package decision
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/resilient"
 	"repro/internal/simplex"
 )
 
@@ -262,6 +265,22 @@ func CollectDecidedSimplexesGraph(g *core.IDGraph) map[string]simplex.Simplex {
 // exactly; otherwise the sweep falls back to a fixpoint loop and the mask
 // is the valence within the explored graph.
 func FieldValences(g *core.IDGraph, cover Covering) []uint8 {
+	for {
+		masks, err := FieldValencesCtx(nil, g, cover)
+		if err == nil {
+			return masks
+		}
+		// A nil context never cancels, so the error is an injected chaos
+		// fault; each armed rule fires once, so retrying converges.
+	}
+}
+
+// FieldValencesCtx is FieldValences under a cancellation context, polled
+// (with the chaos decision.field.layer fault point) once per layer on
+// graded graphs and once per pass in the fixpoint fallback. An
+// interruption returns the partial masks computed so far — layers deeper
+// than the cut are final on graded graphs — alongside the wrapped cause.
+func FieldValencesCtx(ctx *resilient.Ctx, g *core.IDGraph, cover Covering) ([]uint8, error) {
 	rec := obs.Active()
 	defer obs.Span(rec, "decision.field.time")()
 	if rec != nil {
@@ -288,15 +307,30 @@ func FieldValences(g *core.IDGraph, cover Covering) []uint8 {
 		}
 		return m
 	}
+	interrupted := func(at int, cause error) ([]uint8, error) {
+		if rec != nil {
+			rec.Add("decision.field.interrupts", 1)
+			rec.Event("decision.field.interrupted",
+				obs.F{Key: "at", Value: at},
+				obs.F{Key: "cause", Value: cause.Error()})
+		}
+		return masks, fmt.Errorf("decision: field sweep interrupted at layer %d: %w", at, cause)
+	}
 	if g.Graded() {
 		for d := g.NumLayers() - 1; d >= 0; d-- {
+			if err := chaos.Check(ctx, "decision.field.layer"); err != nil {
+				return interrupted(d, err)
+			}
 			for _, u := range g.Layer(d) {
 				masks[u] = relax(u)
 			}
 		}
-		return masks
+		return masks, nil
 	}
-	for changed := true; changed; {
+	for changed, pass := true, 0; changed; pass++ {
+		if err := chaos.Check(ctx, "decision.field.layer"); err != nil {
+			return interrupted(pass, err)
+		}
 		changed = false
 		for u := g.Len() - 1; u >= 0; u-- {
 			if m := relax(uint32(u)) | masks[u]; m != masks[u] {
@@ -305,7 +339,7 @@ func FieldValences(g *core.IDGraph, cover Covering) []uint8 {
 			}
 		}
 	}
-	return masks
+	return masks, nil
 }
 
 // CheckCovering verifies the two covering conditions against a set of

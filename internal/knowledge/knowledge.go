@@ -17,13 +17,16 @@
 package knowledge
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/resilient"
 )
 
 // Classes partitions states into common-knowledge classes: connected
@@ -45,6 +48,26 @@ type Classes struct {
 // bucket's members into a chain yields exactly the pairwise partition in
 // near-linear time.
 func NewClasses(states []core.State) *Classes {
+	for {
+		c, err := NewClassesCtx(nil, states)
+		if err == nil {
+			return c
+		}
+		// A nil context never cancels, so the error is an injected chaos
+		// fault; each armed rule fires once, so retrying converges.
+	}
+}
+
+// classesCheckEvery is how many states the bucketing loop processes
+// between context polls.
+const classesCheckEvery = 1024
+
+// NewClassesCtx is NewClasses under a cancellation context, polled (with
+// the chaos knowledge.bucket fault point) every 1024 states. An
+// interruption returns the partial partition built so far — a valid
+// (coarser-than-final) partition of the states already linked — alongside
+// the wrapped cause.
+func NewClassesCtx(ctx *resilient.Ctx, states []core.State) (*Classes, error) {
 	rec := obs.Active()
 	defer obs.Span(rec, "knowledge.classes.time")()
 	c := &Classes{
@@ -59,6 +82,18 @@ func NewClasses(states []core.State) *Classes {
 	buckets := make(map[string]int, len(states))
 	var b strings.Builder
 	for idx, x := range states {
+		if idx%classesCheckEvery == 0 {
+			if err := chaos.Check(ctx, "knowledge.bucket"); err != nil {
+				if rec != nil {
+					rec.Add("knowledge.interrupts", 1)
+					rec.Event("knowledge.interrupted",
+						obs.F{Key: "at", Value: idx},
+						obs.F{Key: "states", Value: len(states)},
+						obs.F{Key: "cause", Value: err.Error()})
+				}
+				return c, fmt.Errorf("knowledge: partition interrupted at state %d of %d: %w", idx, len(states), err)
+			}
+		}
 		for i := 0; i < x.N(); i++ {
 			if x.FailedAt(i) {
 				continue
@@ -84,7 +119,7 @@ func NewClasses(states []core.State) *Classes {
 		rec.Add("knowledge.links", int64(links))
 		rec.Set("knowledge.classes", int64(c.uf.Sets()))
 	}
-	return c
+	return c, nil
 }
 
 // NewClassesLayer computes the common-knowledge partition of one depth

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 	"sync"
@@ -13,12 +14,19 @@ import (
 // it), the event's fields, and a snapshot of the recorder's counters and
 // gauges at emission time. Lines are written under a mutex, so a Journal
 // is safe for concurrent emitters.
+//
+// Lines are buffered: an emit costs a buffer append, not a syscall. The
+// buffered tail reaches the sink only on Sync (or Close), so owners must
+// Sync before reading the sink and before the process exits — including
+// the signal-interrupt path, where the tail holds exactly the events that
+// explain the interruption.
 type Journal struct {
-	mu    sync.Mutex
-	w     io.Writer
-	start time.Time
-	seq   int64
-	err   error
+	mu     sync.Mutex
+	w      *bufio.Writer
+	start  time.Time
+	seq    int64
+	err    error
+	closed bool
 }
 
 // eventJSON is the serialized form of one journal line.
@@ -31,18 +39,20 @@ type eventJSON struct {
 }
 
 // NewJournal returns a journal writing to w. The caller owns w's lifetime
-// (the journal never closes it).
+// (the journal never closes it) but must call Sync or Close before
+// reading from or closing w, or the buffered tail is lost.
 func NewJournal(w io.Writer) *Journal {
-	return &Journal{w: w, start: time.Now()}
+	return &Journal{w: bufio.NewWriterSize(w, 1<<16), start: time.Now()}
 }
 
-// Emit writes one event line. Write errors are sticky: the first one is
+// Emit buffers one event line. Errors (marshal failures, or write errors
+// surfaced by a buffer spill or Sync) are sticky: the first one is
 // retained (see Err) and later emissions become no-ops, so instrumented
 // code never has to handle journal failures inline.
 func (j *Journal) Emit(name string, fields []F, counters map[string]int64) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.err != nil {
+	if j.err != nil || j.closed {
 		return
 	}
 	ev := eventJSON{
@@ -70,14 +80,43 @@ func (j *Journal) Emit(name string, fields []F, counters map[string]int64) {
 	j.seq++
 }
 
-// Err returns the first write or marshal error, if any.
+// Sync flushes every buffered line to the sink. A flush error becomes the
+// journal's sticky error.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flushLocked()
+}
+
+// Close flushes the buffer and marks the journal closed; later emissions
+// are dropped. Close does not close the sink (the caller owns it).
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	err := j.flushLocked()
+	j.closed = true
+	return err
+}
+
+func (j *Journal) flushLocked() error {
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// Err returns the first write, flush, or marshal error, if any.
 func (j *Journal) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
 }
 
-// Len returns the number of events successfully written.
+// Len returns the number of events accepted into the journal. When a
+// flush failed, the count may exceed the lines that reached the sink.
 func (j *Journal) Len() int64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()

@@ -28,6 +28,9 @@ func TestJournalJSONLines(t *testing.T) {
 	m.Event("explore.start", obs.F{Key: "depth", Value: 3})
 	m.Add("explore.nodes", 8)
 	m.Event("explore.done", obs.F{Key: "nodes", Value: 20}, obs.F{Key: "ok", Value: true})
+	if err := m.SyncJournal(); err != nil {
+		t.Fatalf("SyncJournal: %v", err)
+	}
 
 	var lines []journalLine
 	sc := bufio.NewScanner(&buf)
@@ -79,10 +82,41 @@ func TestJournalStickyError(t *testing.T) {
 	j := obs.NewJournal(failWriter{err: wantErr})
 	j.Emit("a", nil, nil)
 	j.Emit("b", nil, nil)
+	// Lines are buffered; the sink error surfaces on Sync and sticks.
+	if err := j.Sync(); !errors.Is(err, wantErr) {
+		t.Errorf("Sync() = %v, want %v", err, wantErr)
+	}
 	if !errors.Is(j.Err(), wantErr) {
 		t.Errorf("Err() = %v, want %v", j.Err(), wantErr)
 	}
-	if j.Len() != 0 {
-		t.Errorf("Len() = %d, want 0", j.Len())
+	j.Emit("c", nil, nil) // dropped: the error is sticky
+	if j.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", j.Len())
+	}
+}
+
+func TestJournalCloseFlushesAndDrops(t *testing.T) {
+	var buf bytes.Buffer
+	j := obs.NewJournal(&buf)
+	j.Emit("tail", nil, nil)
+	if buf.Len() != 0 {
+		t.Fatalf("line reached the sink before Sync/Close (%d bytes)", buf.Len())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	flushed := buf.Len()
+	if flushed == 0 {
+		t.Fatal("Close did not flush the buffered tail")
+	}
+	j.Emit("late", nil, nil)
+	if err := j.Sync(); err != nil {
+		t.Fatalf("Sync after Close: %v", err)
+	}
+	if buf.Len() != flushed {
+		t.Error("emit after Close reached the sink")
+	}
+	if j.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", j.Len())
 	}
 }

@@ -44,6 +44,19 @@ func (m *Metrics) SetJournal(j *Journal) {
 	m.mu.Unlock()
 }
 
+// SyncJournal flushes the attached journal's buffered tail to its sink;
+// a no-op without a journal. Call it before reading the sink and on
+// interrupt paths, where the tail holds the events explaining the stop.
+func (m *Metrics) SyncJournal() error {
+	m.mu.Lock()
+	j := m.journal
+	m.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	return j.Sync()
+}
+
 // JournalErr returns the attached journal's sticky write error, or nil when
 // no journal is attached or every emit succeeded.
 func (m *Metrics) JournalErr() error {

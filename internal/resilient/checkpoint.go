@@ -1,0 +1,167 @@
+package resilient
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Checkpoint file format: a 4-byte magic, one version byte, then a sequence
+// of length-prefixed sections, each [1-byte tag][uint64 LE length][payload].
+// Section payloads are engine-owned (core writes the explore section,
+// valence the certify and field sections); the container only frames them,
+// so one file can carry a partial graph, the certifier state over it, and
+// the valence masks together.
+const (
+	ckptMagic   = "RSCK"
+	ckptVersion = 1
+)
+
+// Section tags. Tag values are part of the on-disk format; never renumber.
+const (
+	// TagExplore is core's partial-exploration snapshot (CSR graph, intern
+	// keys, frontier depth).
+	TagExplore byte = 1
+	// TagCertify is valence's graph-certifier snapshot (visited bitsets,
+	// DFS stack, root cursor).
+	TagCertify byte = 2
+	// TagField is valence's field-sweep snapshot (masks, next layer).
+	TagField byte = 3
+)
+
+// Section is one tagged payload of a checkpoint file.
+type Section struct {
+	Tag  byte
+	Data []byte
+}
+
+// WriteSections writes a checkpoint file containing the given sections.
+func WriteSections(w io.Writer, sections []Section) error {
+	var hdr [5]byte
+	copy(hdr[:], ckptMagic)
+	hdr[4] = ckptVersion
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var frame [9]byte
+	for _, s := range sections {
+		frame[0] = s.Tag
+		binary.LittleEndian.PutUint64(frame[1:], uint64(len(s.Data)))
+		if _, err := w.Write(frame[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(s.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrBadCheckpoint reports a file that is not a checkpoint or has an
+// unsupported version.
+var ErrBadCheckpoint = errors.New("resilient: not a checkpoint file")
+
+// ReadSections parses a checkpoint file written by WriteSections.
+func ReadSections(r io.Reader) ([]Section, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 5 || string(data[:4]) != ckptMagic {
+		return nil, ErrBadCheckpoint
+	}
+	if data[4] != ckptVersion {
+		return nil, fmt.Errorf("%w: version %d (supported: %d)", ErrBadCheckpoint, data[4], ckptVersion)
+	}
+	var out []Section
+	off := 5
+	for off < len(data) {
+		if off+9 > len(data) {
+			return nil, fmt.Errorf("%w: truncated section header at offset %d", ErrBadCheckpoint, off)
+		}
+		tag := data[off]
+		n := binary.LittleEndian.Uint64(data[off+1 : off+9])
+		off += 9
+		if uint64(len(data)-off) < n {
+			return nil, fmt.Errorf("%w: section %d body truncated at offset %d", ErrBadCheckpoint, tag, off)
+		}
+		out = append(out, Section{Tag: tag, Data: data[off : off+int(n)]})
+		off += int(n)
+	}
+	return out, nil
+}
+
+// LoadFile reads and parses the checkpoint file at path.
+func LoadFile(path string) ([]Section, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSections(f)
+}
+
+// Checkpointer is implemented by the snapshot types an interrupted engine
+// attaches to its error; Sections renders the snapshot as checkpoint-file
+// sections.
+type Checkpointer interface {
+	Sections() ([]Section, error)
+}
+
+// ckptError decorates an interruption error with the Checkpointer able to
+// persist the partial state it reports.
+type ckptError struct {
+	err error
+	ck  Checkpointer
+}
+
+func (e *ckptError) Error() string              { return e.err.Error() }
+func (e *ckptError) Unwrap() error              { return e.err }
+func (e *ckptError) Checkpointer() Checkpointer { return e.ck }
+
+// WithCheckpoint returns err decorated with ck. errors.Is/As still see the
+// underlying chain; CheckpointFrom recovers ck.
+func WithCheckpoint(err error, ck Checkpointer) error {
+	if err == nil || ck == nil {
+		return err
+	}
+	return &ckptError{err: err, ck: ck}
+}
+
+// CheckpointFrom returns the innermost Checkpointer attached to err's
+// chain, if any — the engine closest to the interruption wins when
+// wrappers stack.
+func CheckpointFrom(err error) (Checkpointer, bool) {
+	var found Checkpointer
+	for err != nil {
+		if ce, ok := err.(interface{ Checkpointer() Checkpointer }); ok {
+			found = ce.Checkpointer()
+		}
+		err = errors.Unwrap(err)
+	}
+	return found, found != nil
+}
+
+// SaveCheckpoint writes the sections of an error's attached Checkpointer to
+// path. It reports (false, nil) when err carries no checkpoint.
+func SaveCheckpoint(path string, err error) (bool, error) {
+	ck, ok := CheckpointFrom(err)
+	if !ok {
+		return false, nil
+	}
+	sections, serr := ck.Sections()
+	if serr != nil {
+		return false, serr
+	}
+	f, ferr := os.Create(path)
+	if ferr != nil {
+		return false, ferr
+	}
+	if werr := WriteSections(f, sections); werr != nil {
+		f.Close()
+		return false, werr
+	}
+	return true, f.Close()
+}

@@ -1,0 +1,233 @@
+// Package resilient is the engine's resilient-execution layer: lightweight
+// cancellation contexts with deadlines, a family of errors.Is-consistent
+// degradation sentinels, a panic-safe worker pool, and a versioned binary
+// checkpoint format that long-running analyses use to survive interruption
+// and resume bit-for-bit.
+//
+// The package is deliberately stdlib-only (plus internal/obs for counter
+// snapshots in panic reports) and sits below core, valence, decision, and
+// knowledge in the import graph, so every engine can accept a *Ctx and wrap
+// its budget sentinels around ErrPartial without cycles.
+//
+// Design rules:
+//
+//   - Cancellation is polled, not pushed: engines call Ctx.Err at layer,
+//     shard, or every-K-visits granularity, so the hot loops pay one atomic
+//     load per check and nothing per node.
+//   - Every error that leaves an engine with usable partial state —
+//     ErrCanceled, ErrDeadline, core.ErrNodeBudget, valence.ErrBudget —
+//     wraps ErrPartial, so callers have a single errors.Is degradation
+//     check.
+//   - A resumable interruption attaches a Checkpointer to the returned
+//     error (see WithCheckpoint); callers that hold a -checkpoint path
+//     extract it with CheckpointFrom and write the snapshot.
+package resilient
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrPartial is the root of the degradation-sentinel family: every error
+// that reports an interrupted-but-usable computation (canceled, past
+// deadline, out of budget) wraps it, so a single
+//
+//	errors.Is(err, resilient.ErrPartial)
+//
+// distinguishes "stopped early with partial state" from a genuine failure.
+var ErrPartial = errors.New("resilient: partial result")
+
+// sentinel is a named degradation error. Comparing the sentinel itself with
+// errors.Is matches by identity; unwrapping reaches ErrPartial.
+type sentinel struct{ msg string }
+
+func (s *sentinel) Error() string { return s.msg }
+func (s *sentinel) Unwrap() error { return ErrPartial }
+
+// Sentinel returns a new named degradation sentinel wrapping ErrPartial.
+// Engines use it for their budget errors so errors.Is(err, theirSentinel)
+// and errors.Is(err, resilient.ErrPartial) both hold.
+func Sentinel(msg string) error { return &sentinel{msg: msg} }
+
+// ErrCanceled is returned (wrapped) by engine entry points when their Ctx
+// was canceled. Like a budget error, it arrives alongside the partial
+// result computed so far.
+var ErrCanceled = Sentinel("resilient: canceled")
+
+// ErrDeadline is ErrCanceled's cause-specific sibling for Ctx deadlines.
+var ErrDeadline = Sentinel("resilient: deadline exceeded")
+
+// Ctx is a lightweight cancellation context: a cancel flag, an optional
+// deadline, and an optional parent. It is not context.Context — engines
+// poll Err at coarse granularity instead of selecting on a channel, so the
+// disabled/hot path costs one atomic load (plus one per ancestor, and the
+// engines are handed roots or first-level children).
+//
+// A nil *Ctx is valid and never canceled, so plumbing can default to nil.
+type Ctx struct {
+	parent *Ctx
+	flag   atomic.Bool
+	err    atomic.Pointer[error]
+	done   chan struct{}
+	// timer is atomic because a short deadline can fire (and Cancel can
+	// read it) before WithDeadline's store completes.
+	timer atomic.Pointer[time.Timer]
+
+	mu     sync.Mutex
+	resume []Section
+}
+
+// Background returns a fresh never-canceled root context. Most callers can
+// simply pass nil; Background exists for call sites that want a
+// non-nil handle to attach a resume snapshot to.
+func Background() *Ctx { return &Ctx{done: make(chan struct{})} }
+
+// WithCancel returns a context canceled by the returned function (with
+// ErrCanceled). The cancel function is idempotent and safe for concurrent
+// use.
+func WithCancel() (*Ctx, func()) {
+	c := &Ctx{done: make(chan struct{})}
+	return c, func() { c.Cancel(ErrCanceled) }
+}
+
+// WithDeadline returns a context that cancels itself with ErrDeadline after
+// d, plus a stop function that releases the timer without canceling.
+func WithDeadline(d time.Duration) (*Ctx, func()) {
+	c := &Ctx{done: make(chan struct{})}
+	c.timer.Store(time.AfterFunc(d, func() { c.Cancel(ErrDeadline) }))
+	return c, func() {
+		if t := c.timer.Load(); t != nil {
+			t.Stop()
+		}
+	}
+}
+
+// Child returns a context canceled when either its parent is canceled or
+// its own cancel function runs. The worker pool uses children so one
+// failing shard can stop its siblings without touching the caller's
+// context.
+func (c *Ctx) Child() (*Ctx, func()) {
+	child := &Ctx{parent: c, done: make(chan struct{})}
+	return child, func() { child.Cancel(ErrCanceled) }
+}
+
+// Cancel cancels the context with the given cause (ErrCanceled when cause
+// is nil). Later calls are no-ops; the first cause wins.
+func (c *Ctx) Cancel(cause error) {
+	if c == nil {
+		return
+	}
+	if cause == nil {
+		cause = ErrCanceled
+	}
+	c.err.CompareAndSwap(nil, &cause)
+	if c.flag.CompareAndSwap(false, true) {
+		if t := c.timer.Load(); t != nil {
+			t.Stop()
+		}
+		close(c.done)
+	}
+}
+
+// Err returns nil while the context is live, and the cancellation cause
+// (ErrCanceled, ErrDeadline, or a Pool worker's panic error) afterwards.
+// The live path is one atomic load per ancestor; engines call it at layer,
+// shard, or every-K-visits granularity.
+func (c *Ctx) Err() error {
+	if c == nil {
+		return nil
+	}
+	if c.flag.Load() {
+		if p := c.err.Load(); p != nil {
+			return *p
+		}
+		return ErrCanceled
+	}
+	return c.parent.Err()
+}
+
+// Done returns a channel closed when this context (not an ancestor) is
+// canceled — for the rare blocking waiter; polling Err is the primary
+// protocol and the only one that observes ancestor cancellation.
+func (c *Ctx) Done() <-chan struct{} {
+	if c == nil {
+		return nil
+	}
+	return c.done
+}
+
+// SetResume attaches a parsed checkpoint's sections to the context. Engine
+// entry points that support resuming consume their section with
+// TakeResume; sections nobody claims are simply ignored.
+func (c *Ctx) SetResume(sections []Section) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.resume = append([]Section(nil), sections...)
+	c.mu.Unlock()
+}
+
+// PeekResume returns the first attached resume section with the given tag
+// without consuming it, or nil. Engines peek, validate the snapshot
+// against their arguments (model name, depth), and only then Take it, so a
+// snapshot for a different model is left for the call it belongs to.
+func (c *Ctx) PeekResume(tag byte) []byte {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.resume {
+		if s.Tag == tag {
+			return s.Data
+		}
+	}
+	return nil
+}
+
+// TakeResume removes and returns the first attached resume section with the
+// given tag, or nil when the context carries none. Consuming the section
+// makes resume one-shot: a second engine call with the same tag starts
+// fresh.
+func (c *Ctx) TakeResume(tag byte) []byte {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, s := range c.resume {
+		if s.Tag == tag {
+			c.resume = append(c.resume[:i:i], c.resume[i+1:]...)
+			return s.Data
+		}
+	}
+	return nil
+}
+
+// PanicError reports a worker panic contained by a Pool: the panic value,
+// the shard that raised it, the worker's stack, and a snapshot of the obs
+// counters at recovery time (nil when instrumentation was off). It wraps
+// ErrPartial: a contained panic degrades the call, it does not crash the
+// process.
+type PanicError struct {
+	// Shard is the index of the work item whose worker panicked.
+	Shard int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+	// Counters is the obs counter/gauge snapshot at recovery, when a
+	// metrics recorder was active.
+	Counters map[string]int64
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("resilient: worker panic on shard %d: %v", e.Shard, e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrPartial) hold for contained panics.
+func (e *PanicError) Unwrap() error { return ErrPartial }

@@ -1,0 +1,448 @@
+package resilient_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/resilient"
+)
+
+// TestCtxNilSafe: a nil *Ctx is a valid never-canceled context for every
+// method the engines call.
+func TestCtxNilSafe(t *testing.T) {
+	var ctx *resilient.Ctx
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("nil ctx Err = %v", err)
+	}
+	ctx.Cancel(resilient.ErrCanceled) // must not panic
+	ctx.SetResume([]resilient.Section{{Tag: resilient.TagExplore}})
+	if ctx.PeekResume(resilient.TagExplore) != nil || ctx.TakeResume(resilient.TagExplore) != nil {
+		t.Fatal("nil ctx returned a resume section")
+	}
+	if ctx.Done() != nil {
+		t.Fatal("nil ctx Done channel is non-nil")
+	}
+}
+
+// TestCtxCancelSemantics: first cause wins, cancel is idempotent, Done
+// closes, and the family sentinels hold under errors.Is.
+func TestCtxCancelSemantics(t *testing.T) {
+	ctx, cancel := resilient.WithCancel()
+	if ctx.Err() != nil {
+		t.Fatal("fresh ctx already canceled")
+	}
+	first := fmt.Errorf("%w: shard 3 failed", resilient.ErrCanceled)
+	ctx.Cancel(first)
+	ctx.Cancel(errors.New("late cause must lose"))
+	cancel()
+	if got := ctx.Err(); got != first {
+		t.Fatalf("Err = %v, want the first cause", got)
+	}
+	if !errors.Is(ctx.Err(), resilient.ErrCanceled) || !errors.Is(ctx.Err(), resilient.ErrPartial) {
+		t.Fatalf("cause %v not in the ErrCanceled/ErrPartial family", ctx.Err())
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("Done channel still open after cancel")
+	}
+}
+
+// TestCtxDeadline: the deadline fires with ErrDeadline; the stop function
+// releases a timer that has not fired yet.
+func TestCtxDeadline(t *testing.T) {
+	ctx, stop := resilient.WithDeadline(time.Millisecond)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadline never fired")
+	}
+	if !errors.Is(ctx.Err(), resilient.ErrDeadline) || !errors.Is(ctx.Err(), resilient.ErrPartial) {
+		t.Fatalf("deadline cause = %v", ctx.Err())
+	}
+
+	live, stop2 := resilient.WithDeadline(time.Hour)
+	stop2()
+	if live.Err() != nil {
+		t.Fatal("stopped deadline ctx reports canceled")
+	}
+}
+
+// TestCtxChildPropagation: a child observes parent cancellation through
+// Err (polling protocol), and a child's own cancel leaves the parent live.
+func TestCtxChildPropagation(t *testing.T) {
+	parent, cancel := resilient.WithCancel()
+	child, _ := parent.Child()
+	cancel()
+	if !errors.Is(child.Err(), resilient.ErrCanceled) {
+		t.Fatalf("child did not observe parent cancel: %v", child.Err())
+	}
+
+	parent2 := resilient.Background()
+	child2, stop := parent2.Child()
+	stop()
+	if child2.Err() == nil {
+		t.Fatal("child cancel not observed by child")
+	}
+	if parent2.Err() != nil {
+		t.Fatal("child cancel leaked into the parent")
+	}
+}
+
+// TestResumeSections: Peek does not consume, Take is one-shot, unclaimed
+// tags return nil.
+func TestResumeSections(t *testing.T) {
+	ctx := resilient.Background()
+	ctx.SetResume([]resilient.Section{
+		{Tag: resilient.TagExplore, Data: []byte{1}},
+		{Tag: resilient.TagCertify, Data: []byte{2}},
+	})
+	if got := ctx.PeekResume(resilient.TagCertify); !bytes.Equal(got, []byte{2}) {
+		t.Fatalf("Peek = %v", got)
+	}
+	if got := ctx.TakeResume(resilient.TagCertify); !bytes.Equal(got, []byte{2}) {
+		t.Fatalf("Take = %v", got)
+	}
+	if ctx.TakeResume(resilient.TagCertify) != nil {
+		t.Fatal("Take is not one-shot")
+	}
+	if ctx.PeekResume(resilient.TagField) != nil {
+		t.Fatal("unclaimed tag returned data")
+	}
+	if got := ctx.TakeResume(resilient.TagExplore); !bytes.Equal(got, []byte{1}) {
+		t.Fatalf("sibling section lost: %v", got)
+	}
+}
+
+// TestSentinelFamily: Sentinel errors match themselves by identity and
+// unwrap to ErrPartial; distinct sentinels do not cross-match.
+func TestSentinelFamily(t *testing.T) {
+	budget := resilient.Sentinel("test: budget")
+	wrapped := fmt.Errorf("engine: %w", budget)
+	if !errors.Is(wrapped, budget) || !errors.Is(wrapped, resilient.ErrPartial) {
+		t.Fatalf("sentinel family broken: %v", wrapped)
+	}
+	if errors.Is(wrapped, resilient.ErrCanceled) {
+		t.Fatal("distinct sentinels cross-match")
+	}
+}
+
+// TestCheckpointContainerRoundTrip: sections survive the binary container
+// byte-for-byte, including empty payloads, and re-encoding is
+// deterministic.
+func TestCheckpointContainerRoundTrip(t *testing.T) {
+	sections := []resilient.Section{
+		{Tag: resilient.TagExplore, Data: []byte("partial graph")},
+		{Tag: resilient.TagCertify, Data: nil},
+		{Tag: resilient.TagField, Data: bytes.Repeat([]byte{0xab}, 1<<12)},
+	}
+	var buf bytes.Buffer
+	if err := resilient.WriteSections(&buf, sections); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), buf.Bytes()...)
+	back, err := resilient.ReadSections(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(sections) {
+		t.Fatalf("got %d sections, want %d", len(back), len(sections))
+	}
+	for i := range back {
+		if back[i].Tag != sections[i].Tag || !bytes.Equal(back[i].Data, sections[i].Data) {
+			t.Fatalf("section %d differs after round trip", i)
+		}
+	}
+	var again bytes.Buffer
+	if err := resilient.WriteSections(&again, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, again.Bytes()) {
+		t.Fatal("container encoding is not deterministic")
+	}
+}
+
+// TestCheckpointContainerRejects: wrong magic, future version, and
+// truncated frames all fail with ErrBadCheckpoint.
+func TestCheckpointContainerRejects(t *testing.T) {
+	var good bytes.Buffer
+	if err := resilient.WriteSections(&good, []resilient.Section{{Tag: resilient.TagExplore, Data: []byte("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":             {},
+		"wrong magic":       []byte("NOPE\x01"),
+		"future version":    []byte("RSCK\x02"),
+		"truncated header":  good.Bytes()[:7],
+		"truncated payload": good.Bytes()[:len(good.Bytes())-1],
+	}
+	for name, data := range cases {
+		if _, err := resilient.ReadSections(bytes.NewReader(data)); !errors.Is(err, resilient.ErrBadCheckpoint) {
+			t.Errorf("%s: err = %v, want ErrBadCheckpoint", name, err)
+		}
+	}
+}
+
+// ckpt is a test Checkpointer with a fixed section list.
+type ckpt struct{ sections []resilient.Section }
+
+func (c ckpt) Sections() ([]resilient.Section, error) { return c.sections, nil }
+
+// TestCheckpointFromInnermostWins: stacked WithCheckpoint wrappers resolve
+// to the innermost Checkpointer (the engine closest to the interruption),
+// and errors.Is still sees through the decoration.
+func TestCheckpointFromInnermostWins(t *testing.T) {
+	inner := resilient.WithCheckpoint(resilient.ErrCanceled, ckpt{[]resilient.Section{{Tag: resilient.TagCertify}}})
+	outer := resilient.WithCheckpoint(fmt.Errorf("outer: %w", inner), ckpt{[]resilient.Section{{Tag: resilient.TagExplore}}})
+	ck, ok := resilient.CheckpointFrom(outer)
+	if !ok {
+		t.Fatal("no checkpointer found")
+	}
+	sections, err := ck.Sections()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sections) != 1 || sections[0].Tag != resilient.TagCertify {
+		t.Fatalf("outer wrapper won: %+v", sections)
+	}
+	if !errors.Is(outer, resilient.ErrCanceled) || !errors.Is(outer, resilient.ErrPartial) {
+		t.Fatal("decoration hid the error chain")
+	}
+	if _, ok := resilient.CheckpointFrom(resilient.ErrCanceled); ok {
+		t.Fatal("plain error reported a checkpointer")
+	}
+	if resilient.WithCheckpoint(nil, ckpt{}) != nil {
+		t.Fatal("WithCheckpoint(nil, ck) != nil")
+	}
+}
+
+// TestSaveAndLoadCheckpoint: SaveCheckpoint writes the attached snapshot to
+// disk and LoadFile reads it back; an error without a checkpoint saves
+// nothing.
+func TestSaveAndLoadCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	err := resilient.WithCheckpoint(resilient.ErrDeadline,
+		ckpt{[]resilient.Section{{Tag: resilient.TagField, Data: []byte{7, 7}}}})
+	saved, serr := resilient.SaveCheckpoint(path, err)
+	if serr != nil || !saved {
+		t.Fatalf("SaveCheckpoint = %v, %v", saved, serr)
+	}
+	sections, lerr := resilient.LoadFile(path)
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+	if len(sections) != 1 || sections[0].Tag != resilient.TagField || !bytes.Equal(sections[0].Data, []byte{7, 7}) {
+		t.Fatalf("loaded sections %+v", sections)
+	}
+	if saved, serr := resilient.SaveCheckpoint(filepath.Join(t.TempDir(), "no.ckpt"), resilient.ErrCanceled); saved || serr != nil {
+		t.Fatalf("checkpoint-less error saved a file: %v, %v", saved, serr)
+	}
+	if _, lerr := resilient.LoadFile(filepath.Join(t.TempDir(), "missing.ckpt")); !errors.Is(lerr, os.ErrNotExist) {
+		t.Fatalf("missing file: %v", lerr)
+	}
+}
+
+// TestCodecRoundTrip drives every Enc writer through Dec and requires exact
+// values and full consumption.
+func TestCodecRoundTrip(t *testing.T) {
+	e := resilient.NewEnc(64)
+	e.Uvarint(0)
+	e.Uvarint(1<<40 + 3)
+	e.Int(123456)
+	e.U32(0xdeadbeef)
+	e.U64(0x0102030405060708)
+	e.Str("layered consensus")
+	e.U32s([]uint32{1, 2, 3})
+	e.U32s(nil)
+	e.I32s([]int32{-1, 0, 7})
+	e.Raw([]byte{9, 8})
+	e.Strs([]string{"a", "", "bc"})
+
+	d := resilient.NewDec(e.Bytes())
+	if v := d.Uvarint(); v != 0 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if v := d.Uvarint(); v != 1<<40+3 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if v := d.Int(); v != 123456 {
+		t.Fatalf("int = %d", v)
+	}
+	if v := d.U32(); v != 0xdeadbeef {
+		t.Fatalf("u32 = %x", v)
+	}
+	if v := d.U64(); v != 0x0102030405060708 {
+		t.Fatalf("u64 = %x", v)
+	}
+	if v := d.Str(); v != "layered consensus" {
+		t.Fatalf("str = %q", v)
+	}
+	if v := d.U32s(); !reflect.DeepEqual(v, []uint32{1, 2, 3}) {
+		t.Fatalf("u32s = %v", v)
+	}
+	if v := d.U32s(); v != nil {
+		t.Fatalf("empty u32s = %v", v)
+	}
+	if v := d.I32s(); !reflect.DeepEqual(v, []int32{-1, 0, 7}) {
+		t.Fatalf("i32s = %v", v)
+	}
+	if v := d.Raw(); !bytes.Equal(v, []byte{9, 8}) {
+		t.Fatalf("raw = %v", v)
+	}
+	if v := d.Strs(); !reflect.DeepEqual(v, []string{"a", "", "bc"}) {
+		t.Fatalf("strs = %v", v)
+	}
+	if !d.Done() {
+		t.Fatalf("payload not fully consumed: %v", d.Err())
+	}
+}
+
+// TestCodecStickyErrors: a truncated read poisons the decoder; later reads
+// return zero values and the first error is kept.
+func TestCodecStickyErrors(t *testing.T) {
+	e := resilient.NewEnc(8)
+	e.U64(42)
+	d := resilient.NewDec(e.Bytes()[:4])
+	if v := d.U64(); v != 0 {
+		t.Fatalf("truncated u64 = %d", v)
+	}
+	first := d.Err()
+	if first == nil {
+		t.Fatal("truncation not reported")
+	}
+	if v := d.Str(); v != "" || d.U32() != 0 || d.U32s() != nil {
+		t.Fatal("poisoned decoder returned data")
+	}
+	if d.Err() != first {
+		t.Fatal("first error not sticky")
+	}
+	if d.Done() {
+		t.Fatal("Done on a poisoned decoder")
+	}
+
+	// Oversized cardinality is corruption, not scale.
+	e2 := resilient.NewEnc(8)
+	e2.Uvarint(1 << 40)
+	d2 := resilient.NewDec(e2.Bytes())
+	if d2.Int() != 0 || d2.Err() == nil {
+		t.Fatal("out-of-range int accepted")
+	}
+}
+
+// TestPoolRunsAllShards: every shard runs exactly once for serial and
+// parallel worker counts, including workers > shards.
+func TestPoolRunsAllShards(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		var ran [9]atomic.Int32
+		p := &resilient.Pool{Workers: workers}
+		if err := p.Run(nil, len(ran), func(ctx *resilient.Ctx, shard int) error {
+			ran[shard].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ran {
+			if n := ran[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: shard %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+// TestPoolPanicContained: a panicking shard becomes a *PanicError carrying
+// the shard id and stack, wrapping ErrPartial, for both the serial fast
+// path and the goroutine pool.
+func TestPoolPanicContained(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := &resilient.Pool{Workers: workers}
+		err := p.Run(nil, 8, func(ctx *resilient.Ctx, shard int) error {
+			if shard == 2 {
+				panic("boom on shard 2")
+			}
+			return nil
+		})
+		var pe *resilient.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want PanicError", workers, err)
+		}
+		if pe.Shard != 2 || pe.Value != "boom on shard 2" {
+			t.Fatalf("workers=%d: wrong panic report: %+v", workers, pe)
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "TestPoolPanicContained") {
+			t.Fatalf("workers=%d: stack missing the panic site", workers)
+		}
+		if !errors.Is(err, resilient.ErrPartial) {
+			t.Fatalf("workers=%d: PanicError not in the ErrPartial family", workers)
+		}
+	}
+}
+
+// TestPoolLowestShardErrorWins: when several shards fail, the reported
+// error is deterministically the lowest-indexed one.
+func TestPoolLowestShardErrorWins(t *testing.T) {
+	p := &resilient.Pool{Workers: 4}
+	var gate atomic.Int32
+	err := p.Run(nil, 4, func(ctx *resilient.Ctx, shard int) error {
+		// Hold every shard at the gate so all four fail together.
+		gate.Add(1)
+		for gate.Load() < 4 {
+			time.Sleep(time.Microsecond)
+		}
+		return fmt.Errorf("shard %d: %w", shard, resilient.ErrCanceled)
+	})
+	if err == nil || !strings.HasPrefix(err.Error(), "shard 0:") {
+		t.Fatalf("err = %v, want shard 0's", err)
+	}
+}
+
+// TestPoolSiblingCancellation: one failing shard cancels the child ctx its
+// siblings poll, and the caller's parent stays live.
+func TestPoolSiblingCancellation(t *testing.T) {
+	parent := resilient.Background()
+	p := &resilient.Pool{Workers: 2}
+	failing := errors.New("shard 0 gave up")
+	err := p.Run(parent, 2, func(ctx *resilient.Ctx, shard int) error {
+		if shard == 0 {
+			return failing
+		}
+		// The sibling polls until it observes the failure.
+		for ctx.Err() == nil {
+			time.Sleep(time.Microsecond)
+		}
+		return nil
+	})
+	if !errors.Is(err, failing) {
+		t.Fatalf("err = %v", err)
+	}
+	if parent.Err() != nil {
+		t.Fatal("shard failure canceled the caller's context")
+	}
+}
+
+// TestPoolParentCancellation: a canceled parent stops the batch and Run
+// returns the parent's cause.
+func TestPoolParentCancellation(t *testing.T) {
+	parent, cancel := resilient.WithCancel()
+	cancel()
+	var ran atomic.Int32
+	p := &resilient.Pool{Workers: 2}
+	err := p.Run(parent, 100, func(ctx *resilient.Ctx, shard int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, resilient.ErrCanceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n > 2 {
+		t.Fatalf("%d shards ran under a pre-canceled parent", n)
+	}
+}

@@ -1,11 +1,11 @@
 package valence
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/resilient"
 )
 
 // WitnessKind classifies the outcome of certifying a consensus protocol
@@ -50,8 +50,10 @@ type Witness struct {
 	Explored int
 }
 
-// ErrBudget is returned when certification exceeds the node budget.
-var ErrBudget = errors.New("valence: certification exceeded state budget")
+// ErrBudget is returned when certification exceeds the node budget. As a
+// resilient.Sentinel it wraps resilient.ErrPartial, joining the
+// canceled/deadline family under one degradation check.
+var ErrBudget = resilient.Sentinel("valence: certification exceeded state budget")
 
 // Certify exhaustively checks the consensus requirements over all S-runs of
 // the model up to `bound` layers: agreement (all processes non-failed at a

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/resilient"
 )
 
 // ErrNotGraded is returned by CertifyGraph when the graph has an edge that
@@ -30,6 +32,19 @@ var ErrNotGraded = errors.New("valence: graph is not graded")
 // g must be explored with no node budget; maxVisits bounds the total
 // number of node visits across all roots (0 = no bound).
 func CertifyGraph(g *core.IDGraph, maxVisits int) (*Witness, error) {
+	return CertifyGraphCtx(nil, g, maxVisits)
+}
+
+// CertifyGraphCtx is CertifyGraph under a cancellation context, polled (with
+// the chaos certify.visit fault point) at every root boundary and every 256
+// DFS steps. An interruption
+// returns an error wrapping ErrCanceled/ErrDeadline (or ErrBudget for an
+// injected budget fault) that carries a resilient.Checkpointer snapshotting
+// the per-input-mask visited bitsets, the DFS stack, and the root cursor;
+// resuming with that snapshot (resilient.TagCertify, validated against a
+// fingerprint of the graph) finishes with a verdict, witness, and Explored
+// count bit-identical to an uninterrupted run's.
+func CertifyGraphCtx(ctx *resilient.Ctx, g *core.IDGraph, maxVisits int) (*Witness, error) {
 	if !g.Graded() {
 		return nil, ErrNotGraded
 	}
@@ -43,9 +58,48 @@ func CertifyGraph(g *core.IDGraph, maxVisits int) (*Witness, error) {
 			obs.F{Key: "depth", Value: g.Depth},
 			obs.F{Key: "roots", Value: len(g.Inits)})
 	}
-	c := &graphCertifier{g: g, maxVisits: maxVisits, visited: make(map[uint64][]uint64)}
-	for _, r := range g.Inits {
-		w, err := c.run(r)
+	c := &graphCertifier{g: g, ctx: ctx, maxVisits: maxVisits, visited: make(map[uint64][]uint64)}
+	startRoot, midRoot := 0, false
+	if data := ctx.PeekResume(resilient.TagCertify); data != nil {
+		ck, err := DecodeCertifyCheckpoint(data)
+		if err != nil {
+			return nil, err
+		}
+		if ck.Matches(g, maxVisits) {
+			ctx.TakeResume(resilient.TagCertify)
+			ck.restore(c)
+			startRoot, midRoot = c.rootIdx, len(c.stack) > 0
+			if rec != nil {
+				rec.Add("certify.resumes", 1)
+				rec.Event("certify.resume",
+					obs.F{Key: "root", Value: startRoot},
+					obs.F{Key: "visits", Value: c.visits},
+					obs.F{Key: "stack", Value: len(c.stack)})
+			}
+		}
+	}
+	for ri := startRoot; ri < len(g.Inits); ri++ {
+		c.rootIdx = ri
+		// Root boundaries are interruption points too: small graphs never
+		// reach the 256-step poll, and a root-top cut (empty stack) is the
+		// cheapest checkpoint there is.
+		if err := c.stop(); err != nil {
+			return nil, err
+		}
+		var (
+			w   *Witness
+			err error
+		)
+		if ri == startRoot && midRoot {
+			// Continue the interrupted root exactly where the stack left it:
+			// its root node and bitset are re-derived, not re-entered.
+			c.root = g.Inits[ri]
+			c.inputs = inputMask(g.States[c.root])
+			c.bs = c.bitset(c.inputs)
+			w, err = c.loop()
+		} else {
+			w, err = c.run(g.Inits[ri])
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -92,11 +146,22 @@ func (c *graphCertifier) finish(rec obs.Recorder, w *Witness) {
 // is that the whole graph is explored up front rather than lazily, which
 // is faster for certifications that visit most of it.
 func CertifyFast(m core.Model, bound, maxVisits int) (*Witness, error) {
-	g, err := core.ExploreIDParallel(m, bound, 0, 0)
+	return CertifyFastCtx(nil, m, bound, maxVisits)
+}
+
+// CertifyFastCtx is CertifyFast under a cancellation context, threaded
+// through both phases: the exploration checks it at layer boundaries, the
+// certification at root boundaries and every 256 DFS steps, and whichever
+// phase is interrupted
+// attaches its own checkpoint to the error. A resumed run re-derives the
+// already-complete phase deterministically (re-exploring is bit-identical),
+// so one saved certify snapshot suffices to finish the whole call.
+func CertifyFastCtx(ctx *resilient.Ctx, m core.Model, bound, maxVisits int) (*Witness, error) {
+	g, err := core.ExploreIDCtx(ctx, m, bound, 0, 0)
 	if err != nil {
 		return nil, err
 	}
-	w, err := CertifyGraph(g, maxVisits)
+	w, err := CertifyGraphCtx(ctx, g, maxVisits)
 	if errors.Is(err, ErrNotGraded) {
 		return Certify(m, bound, maxVisits)
 	}
@@ -113,40 +178,68 @@ type gframe struct {
 
 type graphCertifier struct {
 	g         *core.IDGraph
+	ctx       *resilient.Ctx
 	maxVisits int
 	visits    int
+	// steps counts DFS loop iterations; every 256th polls the context and
+	// the certify.visit fault point.
+	steps int
+	// rootIdx is the cursor into g.Inits, part of the checkpoint.
+	rootIdx int
 	// visited[inputs] is the per-input-mask node bitset replacing the
 	// recursive certifier's map[certMemoKey]bool.
 	visited map[uint64][]uint64
 	bs      []uint64
 	root    uint32
+	inputs  uint64
 	stack   []gframe
+}
+
+// bitset returns (creating on first use) the visited bitset for an input
+// mask.
+func (c *graphCertifier) bitset(inputs uint64) []uint64 {
+	bs := c.visited[inputs]
+	if bs == nil {
+		bs = make([]uint64, (c.g.Len()+63)/64)
+		c.visited[inputs] = bs
+	}
+	return bs
 }
 
 // run certifies the subgraph reachable from one root.
 func (c *graphCertifier) run(root uint32) (*Witness, error) {
 	g := c.g
-	inputs := inputMask(g.States[root])
-	bs := c.visited[inputs]
-	if bs == nil {
-		bs = make([]uint64, (g.Len()+63)/64)
-		c.visited[inputs] = bs
-	}
-	c.bs = bs
+	c.inputs = inputMask(g.States[root])
+	c.bs = c.bitset(c.inputs)
 	c.root = root
 	c.stack = c.stack[:0]
 
 	if c.seen(root) {
 		return nil, nil
 	}
-	if w, err := c.enter(root, -1, inputs); w != nil || err != nil {
+	if w, err := c.enter(root, -1); w != nil || err != nil {
 		return w, err
 	}
 	if int(g.DepthOf[root]) >= g.Depth {
 		return nil, nil
 	}
 	c.stack = append(c.stack, gframe{node: root, via: -1, next: g.EdgeStart[root]})
+	return c.loop()
+}
+
+// loop drains the DFS stack. It is the shared tail of a fresh root and a
+// checkpoint resume: everything it needs — stack, bitset, root, inputs —
+// is certifier state, and every 256th iteration is an interruption point
+// whose cut is exactly that state.
+func (c *graphCertifier) loop() (*Witness, error) {
+	g := c.g
 	for len(c.stack) > 0 {
+		c.steps++
+		if c.steps&255 == 0 {
+			if err := c.stop(); err != nil {
+				return nil, err
+			}
+		}
 		top := &c.stack[len(c.stack)-1]
 		u := top.node
 		if top.next == g.EdgeStart[u+1] {
@@ -164,7 +257,7 @@ func (c *graphCertifier) run(root uint32) (*Witness, error) {
 		if c.seen(v) {
 			continue
 		}
-		if w, err := c.enter(v, int32(e), inputs); w != nil || err != nil {
+		if w, err := c.enter(v, int32(e)); w != nil || err != nil {
 			return w, err
 		}
 		if int(g.DepthOf[v]) < g.Depth {
@@ -174,16 +267,40 @@ func (c *graphCertifier) run(root uint32) (*Witness, error) {
 	return nil, nil
 }
 
+// stop polls the context and the certify.visit fault point; on
+// interruption it snapshots the certifier into a checkpoint and attaches
+// it to the returned error. Injected budget faults are routed through
+// ErrBudget so they surface exactly like a real exhausted visit budget.
+func (c *graphCertifier) stop() error {
+	err := chaos.Check(c.ctx, "certify.visit")
+	if err == nil {
+		return nil
+	}
+	var f *chaos.Fault
+	if errors.As(err, &f) && f.Kind == chaos.KindBudget {
+		err = fmt.Errorf("%w: %w", ErrBudget, err)
+	}
+	if rec := obs.Active(); rec != nil {
+		rec.Add("certify.interrupts", 1)
+		rec.Event("certify.interrupted",
+			obs.F{Key: "root", Value: c.rootIdx},
+			obs.F{Key: "visits", Value: c.visits},
+			obs.F{Key: "cause", Value: err.Error()})
+	}
+	werr := fmt.Errorf("valence: certification interrupted after %d visits: %w", c.visits, err)
+	return resilient.WithCheckpoint(werr, c.checkpoint())
+}
+
 // enter performs the first (and only) visit of a node: mark it, count it,
 // and check the state-local requirements — agreement and validity always,
 // decision when the node sits at the bound.
-func (c *graphCertifier) enter(v uint32, via int32, inputs uint64) (*Witness, error) {
+func (c *graphCertifier) enter(v uint32, via int32) (*Witness, error) {
 	c.mark(v)
 	c.visits++
 	if c.maxVisits > 0 && c.visits > c.maxVisits {
 		return nil, fmt.Errorf("after %d visits: %w", c.visits, ErrBudget)
 	}
-	if w := checkState(c.g.States[v], inputs); w != nil {
+	if w := checkState(c.g.States[v], c.inputs); w != nil {
 		w.Exec = c.execTo(via)
 		return w, nil
 	}

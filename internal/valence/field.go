@@ -3,11 +3,12 @@ package valence
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/resilient"
 )
 
 // Field is the whole-graph form of the valence Oracle: the valence mask of
@@ -49,7 +50,49 @@ func NewField(g *core.IDGraph) *Field { return NewFieldParallel(g, 1) }
 // OR-propagation sharded across workers goroutines (workers <= 0 means
 // GOMAXPROCS). The result is bit-identical for every worker count.
 func NewFieldParallel(g *core.IDGraph, workers int) *Field {
-	if workers <= 0 {
+	ctx := resilient.Background()
+	for {
+		f, err := NewFieldParallelCtx(ctx, g, workers)
+		if err == nil {
+			return f
+		}
+		// This context never cancels, so the error is an injected chaos
+		// fault. Each armed rule fires once, so feeding the checkpoint back
+		// (or plain retrying, when none is attached) converges to the
+		// complete field.
+		if ck, ok := resilient.CheckpointFrom(err); ok {
+			if sections, serr := ck.Sections(); serr == nil {
+				ctx.SetResume(sections)
+			}
+		}
+	}
+}
+
+// NewFieldCtx is NewField under a cancellation context.
+func NewFieldCtx(ctx *resilient.Ctx, g *core.IDGraph) (*Field, error) {
+	return NewFieldParallelCtx(ctx, g, 1)
+}
+
+// NewFieldParallelCtx is NewFieldParallel under a cancellation context,
+// polled (with the chaos field.layer fault point) once per layer; pool
+// workers additionally poll per shard (field.shard), and a panicking shard
+// is contained into a *resilient.PanicError. An interruption returns the
+// partial field alongside an error carrying a resilient.Checkpointer with
+// the masks computed so far and the next unfinished layer; resuming with
+// that snapshot (resilient.TagField, validated against a fingerprint of
+// the graph) yields a field bit-identical to an uninterrupted sweep's.
+// Re-sweeping the interrupted layer is idempotent, so shard-level cuts
+// need no finer snapshot than the layer index.
+//
+// Non-graded graphs fall back to serial fixpoint iteration, which polls
+// the context once per pass but is not checkpointed (the fallback exists
+// for small, hand-built, or shortcut-edged graphs).
+func NewFieldParallelCtx(ctx *resilient.Ctx, g *core.IDGraph, workers int) (*Field, error) {
+	// Auto mode (workers <= 0) applies the fieldShardMin heuristic per
+	// layer; an explicit worker count is honored as given, so tests and
+	// callers with odd workloads control the sharding exactly.
+	auto := workers <= 0
+	if auto {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	rec := obs.Active()
@@ -60,13 +103,37 @@ func NewFieldParallel(g *core.IDGraph, workers int) *Field {
 	}
 	f := &Field{g: g, masks: make([]uint8, g.Len())}
 	if g.Graded() {
-		for d := g.NumLayers() - 1; d >= 0; d-- {
+		start := g.NumLayers() - 1
+		if data := ctx.PeekResume(resilient.TagField); data != nil {
+			ck, err := DecodeFieldCheckpoint(data)
+			if err != nil {
+				return nil, err
+			}
+			if ck.Matches(g) {
+				ctx.TakeResume(resilient.TagField)
+				copy(f.masks, ck.Masks)
+				start = ck.NextLayer
+				if rec != nil {
+					rec.Add("field.resumes", 1)
+					rec.Event("field.resume",
+						obs.F{Key: "next_layer", Value: start},
+						obs.F{Key: "nodes", Value: g.Len()})
+				}
+			}
+		}
+		for d := start; d >= 0; d-- {
+			if err := chaos.Check(ctx, "field.layer"); err != nil {
+				return f, f.interrupted(rec, d, err)
+			}
 			layer := g.Layer(d)
 			var t0 time.Time
 			if rec != nil {
 				t0 = time.Now() //lint:nondet feeds layer-timing instrumentation only
 			}
-			imbalance := f.sweepLayer(layer, workers, rec != nil)
+			imbalance, err := f.sweepLayer(ctx, layer, workers, auto, rec != nil)
+			if err != nil {
+				return f, f.interrupted(rec, d, err)
+			}
 			if rec != nil {
 				elapsed := time.Since(t0)
 				rec.Observe("field.layer.time", elapsed)
@@ -77,10 +144,13 @@ func NewFieldParallel(g *core.IDGraph, workers int) *Field {
 					obs.F{Key: "imbalance_pct", Value: imbalance})
 			}
 		}
-		return f
+		return f, nil
 	}
 	iters := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return f, fmt.Errorf("valence: field fixpoint interrupted after %d iterations: %w", iters, err)
+		}
 		iters++
 		changed := false
 		for u := g.Len() - 1; u >= 0; u-- {
@@ -96,23 +166,46 @@ func NewFieldParallel(g *core.IDGraph, workers int) *Field {
 					obs.F{Key: "nodes", Value: g.Len()},
 					obs.F{Key: "iterations", Value: iters})
 			}
-			return f
+			return f, nil
 		}
 	}
 }
 
+// interrupted finalizes a sweep cut: layers above nextLayer are complete in
+// f.masks, layer nextLayer may be partially written, and the checkpoint
+// records exactly that, attached to the returned error.
+func (f *Field) interrupted(rec obs.Recorder, nextLayer int, cause error) error {
+	if rec != nil {
+		rec.Add("field.interrupts", 1)
+		rec.Event("field.interrupted",
+			obs.F{Key: "next_layer", Value: nextLayer},
+			obs.F{Key: "cause", Value: cause.Error()})
+	}
+	ck := &FieldCheckpoint{
+		Fingerprint: graphFingerprint(f.g),
+		NextLayer:   nextLayer,
+		Masks:       append([]uint8(nil), f.masks...),
+	}
+	err := fmt.Errorf("valence: field sweep interrupted at layer %d: %w", nextLayer, cause)
+	return resilient.WithCheckpoint(err, ck)
+}
+
 // sweepLayer computes the masks of one finished-children layer, sharding
-// across workers when the layer is large enough to pay for goroutines.
-// With measure set it times each shard and returns the worker-imbalance
-// ratio, max shard time over mean shard time, in percent (100 = perfectly
+// across pool workers when the layer is large enough to pay for
+// goroutines (auto mode) or exactly as requested (explicit workers). With
+// measure set it times each shard and returns the worker-imbalance ratio,
+// max shard time over mean shard time, in percent (100 = perfectly
 // balanced; 0 when the layer ran serially or unmeasured).
-func (f *Field) sweepLayer(layer []uint32, workers int, measure bool) (imbalancePct int64) {
-	if max := len(layer) / fieldShardMin; workers > max {
+func (f *Field) sweepLayer(ctx *resilient.Ctx, layer []uint32, workers int, auto, measure bool) (imbalancePct int64, err error) {
+	if max := len(layer) / fieldShardMin; auto && workers > max {
 		workers = max
+	}
+	if workers > len(layer) {
+		workers = len(layer)
 	}
 	if workers <= 1 {
 		f.sweepRange(layer)
-		return 0
+		return 0, nil
 	}
 	shard := (len(layer) + workers - 1) / workers
 	nShards := (len(layer) + shard - 1) / shard
@@ -120,28 +213,31 @@ func (f *Field) sweepLayer(layer []uint32, workers int, measure bool) (imbalance
 	if measure {
 		shardNs = make([]int64, nShards)
 	}
-	var wg sync.WaitGroup
-	for w := 0; w*shard < len(layer); w++ {
+	pool := resilient.Pool{Workers: workers}
+	err = pool.Run(ctx, nShards, func(sctx *resilient.Ctx, w int) error {
+		if cerr := chaos.Check(sctx, "field.shard"); cerr != nil {
+			return cerr
+		}
 		lo := w * shard
 		hi := lo + shard
 		if hi > len(layer) {
 			hi = len(layer)
 		}
-		wg.Add(1)
-		go func(w int, part []uint32) {
-			defer wg.Done()
-			if shardNs != nil {
-				t0 := time.Now() //lint:nondet feeds shard-timing instrumentation only
-				f.sweepRange(part)
-				shardNs[w] = time.Since(t0).Nanoseconds()
-				return
-			}
+		part := layer[lo:hi]
+		if shardNs != nil {
+			t0 := time.Now() //lint:nondet feeds shard-timing instrumentation only
 			f.sweepRange(part)
-		}(w, layer[lo:hi])
+			shardNs[w] = time.Since(t0).Nanoseconds()
+			return nil
+		}
+		f.sweepRange(part)
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	wg.Wait()
 	if shardNs == nil {
-		return 0
+		return 0, nil
 	}
 	var max, total int64
 	for _, ns := range shardNs {
@@ -151,9 +247,9 @@ func (f *Field) sweepLayer(layer []uint32, workers int, measure bool) (imbalance
 		}
 	}
 	if total == 0 {
-		return 0
+		return 0, nil
 	}
-	return max * 100 * int64(len(shardNs)) / total
+	return max * 100 * int64(len(shardNs)) / total, nil
 }
 
 // sweepRange computes the masks of a slice of same-layer nodes. Each node's

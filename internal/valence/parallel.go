@@ -1,20 +1,20 @@
 package valence
 
 import (
-	"sync"
-
 	"repro/internal/core"
+	"repro/internal/resilient"
 )
 
-// CertifyParallel runs Certify's per-initial-state searches concurrently,
-// one worker per CPU-ish slot, and returns the same verdict Certify would:
-// the witness of the earliest (in Inits order) violating initial state, or
-// OK. Each worker owns a private memo table (roots share little of their
-// early state space; the duplication is bounded by the per-root budget),
-// but all workers draw successors from the model's shared concurrency-safe
-// cache, so a state expanded under one root is never re-enumerated under
-// another. maxVisitsPerRoot caps each root's search independently (0 =
-// unbounded).
+// CertifyParallel runs Certify's per-initial-state searches concurrently
+// on a panic-safe pool, one worker per CPU-ish slot, and returns the same
+// verdict Certify would: the witness of the earliest (in Inits order)
+// violating initial state, or OK. Each worker owns a private memo table
+// (roots share little of their early state space; the duplication is
+// bounded by the per-root budget), but all workers draw successors from
+// the model's shared concurrency-safe cache, so a state expanded under one
+// root is never re-enumerated under another. maxVisitsPerRoot caps each
+// root's search independently (0 = unbounded). A panic in model code is
+// contained into a *resilient.PanicError instead of crashing the process.
 func CertifyParallel(m core.Model, bound, maxVisitsPerRoot, workers int) (*Witness, error) {
 	inits := m.Inits()
 	if workers < 1 {
@@ -29,28 +29,13 @@ func CertifyParallel(m core.Model, bound, maxVisitsPerRoot, workers int) (*Witne
 		err error
 	}
 	results := make([]result, len(inits))
-	var (
-		wg   sync.WaitGroup
-		next int
-		mu   sync.Mutex
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(inits) {
-					return
-				}
-				results[i] = certifyOne(m, inits[i], bound, maxVisitsPerRoot)
-			}
-		}()
+	pool := resilient.Pool{Workers: workers}
+	if err := pool.Run(nil, len(inits), func(_ *resilient.Ctx, i int) error {
+		results[i] = certifyOne(m, inits[i], bound, maxVisitsPerRoot)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	wg.Wait()
 
 	totalVisits := 0
 	for i := range results {

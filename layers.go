@@ -27,12 +27,15 @@
 package layers
 
 import (
+	"time"
+
 	"repro/internal/asyncmp"
 	"repro/internal/core"
 	"repro/internal/iis"
 	"repro/internal/knowledge"
 	"repro/internal/mobile"
 	"repro/internal/proto"
+	"repro/internal/resilient"
 	"repro/internal/shmem"
 	"repro/internal/simplex"
 	"repro/internal/snapshot"
@@ -247,6 +250,87 @@ func CertifyGraph(g *IDGraph, maxVisits int) (*Witness, error) {
 // Certify's.
 func CertifyFast(m Model, bound, maxVisits int) (*Witness, error) {
 	return valence.CertifyFast(m, bound, maxVisits)
+}
+
+// Ctx is the framework's lightweight cancellation context: a done channel
+// plus an optional deadline, polled by the engines at layer/shard
+// granularity. A nil *Ctx is valid and never cancels.
+type Ctx = resilient.Ctx
+
+// PanicError is the error a panic-safe worker pool recovers a worker
+// panic into: shard id, panic value, stack, and a counter snapshot.
+type PanicError = resilient.PanicError
+
+// Resilience sentinels: ErrPartial is the root every interruption-family
+// error wraps (budget exhaustion, cancellation, deadline, injected
+// faults), so errors.Is(err, ErrPartial) identifies any partial result.
+var (
+	ErrPartial  = resilient.ErrPartial
+	ErrCanceled = resilient.ErrCanceled
+	ErrDeadline = resilient.ErrDeadline
+)
+
+// Background returns a cancelable context with no deadline.
+func Background() *Ctx { return resilient.Background() }
+
+// WithCancel returns a context and a function canceling it with
+// ErrCanceled.
+func WithCancel() (*Ctx, func()) { return resilient.WithCancel() }
+
+// WithDeadline returns a context canceled with ErrDeadline after d, and a
+// stop function releasing the timer.
+func WithDeadline(d time.Duration) (*Ctx, func()) { return resilient.WithDeadline(d) }
+
+// SaveCheckpoint writes the checkpoint attached to an interruption error
+// (if any) to path, reporting whether one was written.
+func SaveCheckpoint(path string, err error) (bool, error) {
+	return resilient.SaveCheckpoint(path, err)
+}
+
+// LoadCheckpoint reads a checkpoint file's sections; hand them to a Ctx
+// via SetResume and the interrupted engine resumes where it stopped.
+func LoadCheckpoint(path string) ([]resilient.Section, error) {
+	return resilient.LoadFile(path)
+}
+
+// ExploreCtx is Explore under a cancellation context: on interruption the
+// error wraps ErrPartial and carries a resumable checkpoint.
+func ExploreCtx(ctx *Ctx, m Model, depth, maxNodes int) (*Graph, error) {
+	return core.ExploreCtx(ctx, m, depth, maxNodes)
+}
+
+// ExploreParallelCtx is ExploreParallel under a cancellation context.
+func ExploreParallelCtx(ctx *Ctx, m Model, depth, maxNodes, workers int) (*Graph, error) {
+	return core.ExploreParallelCtx(ctx, m, depth, maxNodes, workers)
+}
+
+// ExploreIDCtx is ExploreIDParallel under a cancellation context; a
+// checkpoint loaded into ctx resumes the interrupted exploration and the
+// finished graph is bit-identical to an uninterrupted run's.
+func ExploreIDCtx(ctx *Ctx, m Model, depth, maxNodes, workers int) (*IDGraph, error) {
+	return core.ExploreIDCtx(ctx, m, depth, maxNodes, workers)
+}
+
+// CertifyGraphCtx is CertifyGraph under a cancellation context, with
+// checkpoint/resume of the certification pass.
+func CertifyGraphCtx(ctx *Ctx, g *IDGraph, maxVisits int) (*Witness, error) {
+	return valence.CertifyGraphCtx(ctx, g, maxVisits)
+}
+
+// CertifyFastCtx is CertifyFast under a cancellation context.
+func CertifyFastCtx(ctx *Ctx, m Model, bound, maxVisits int) (*Witness, error) {
+	return valence.CertifyFastCtx(ctx, m, bound, maxVisits)
+}
+
+// NewFieldCtx is NewField under a cancellation context.
+func NewFieldCtx(ctx *Ctx, g *IDGraph) (*Field, error) {
+	return valence.NewFieldCtx(ctx, g)
+}
+
+// NewFieldParallelCtx is NewFieldParallel under a cancellation context,
+// with checkpoint/resume of the sweep.
+func NewFieldParallelCtx(ctx *Ctx, g *IDGraph, workers int) (*Field, error) {
+	return valence.NewFieldParallelCtx(ctx, g, workers)
 }
 
 // NewKnowledgeClassesLayer computes the common-knowledge partition of one
