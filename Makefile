@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race vet lint vettool chaos bench profile clean
+.PHONY: all build test tier1 race vet lint vettool chaos bench benchfield profile clean
 
 all: tier1
 
@@ -29,7 +29,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/...
-	$(GO) test -race -run 'TestFieldPropertyMatchesOracle|TestCertifyGraphMatchesRecursive' ./internal/valence
+	$(GO) test -race -run 'TestFieldPropertyMatchesOracle|TestCertifyGraphMatchesRecursive|TestFieldShardWordAlignment|TestFieldMatchesScalarPlanes' ./internal/valence
 	$(GO) test -race ./internal/obs ./internal/cli ./cmd/lint
 
 # chaos runs the deterministic fault-injection suite under the race
@@ -48,14 +48,23 @@ chaos:
 # parallel certification, shared successor caches, and the sharded
 # valence-field sweep, whose randomized property test is re-run explicitly
 # above; ./internal/... also covers internal/analysis and its fixture
-# tests), and the chaos fault-injection suite.
-tier1: build vet lint test race chaos
+# tests), the chaos fault-injection suite, and a one-iteration smoke pass
+# of the field-kernel micro-benchmarks.
+tier1: build vet lint test race chaos benchfield
 
-# bench regenerates BENCH_3.json from the E1–E11 experiment benchmarks,
-# the certifier benchmarks, and the resilience overhead rows, and prints
-# the per-row delta against the committed PR 3 baseline BENCH_2.json.
+# bench regenerates BENCH_4.json from the E1–E11 experiment benchmarks,
+# the certifier and field-kernel benchmarks, and the resilience overhead
+# rows, and prints the per-row delta (plus the geomean speedup line)
+# against the committed PR 5 baseline BENCH_3.json.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_3.json -baseline BENCH_2.json
+	$(GO) run ./cmd/bench -out BENCH_4.json -baseline BENCH_3.json
+
+# benchfield smoke-runs the valence field micro-benchmark grid (scalar vs
+# bit-plane, serial vs sharded, graded vs fixpoint, arena steady state) at
+# one iteration per row — it validates the kernels still run and report
+# allocs, not their timings; use `make bench` for real numbers.
+benchfield:
+	$(GO) test ./internal/valence -run '^$$' -bench 'BenchmarkFieldSweep|BenchmarkCertifyGraphArena' -benchtime 1x -benchmem
 
 # profile reruns the benchmark suites with CPU/heap profiling enabled and
 # leaves the profiles, test binaries, and a BENCH json under profiles/.

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -55,10 +56,15 @@ type Result struct {
 
 // Report is the top-level JSON document.
 type Report struct {
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Benchtime  string   `json:"benchtime"`
-	Benchmarks []Result `json:"benchmarks"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Benchtime  string `json:"benchtime"`
+	// Baseline and GeomeanSpeedup are set when -baseline was given: the
+	// baseline file name and the geometric mean of old/new ns/op across
+	// every benchmark present in both reports.
+	Baseline       string   `json:"baseline,omitempty"`
+	GeomeanSpeedup float64  `json:"geomean_speedup,omitempty"`
+	Benchmarks     []Result `json:"benchmarks"`
 }
 
 func main() {
@@ -105,6 +111,7 @@ func run(args []string) error {
 		{"repro", "BenchmarkE"},
 		{"repro", "BenchmarkResilience"},
 		{"repro/internal/valence", "BenchmarkCertify"},
+		{"repro/internal/valence", "BenchmarkFieldSweep"},
 	}
 	report := Report{
 		GoVersion:  runtime.Version(),
@@ -149,6 +156,17 @@ func run(args []string) error {
 		report.Benchmarks = append(report.Benchmarks, results...)
 	}
 
+	// The geomean goes into the JSON document, so the baseline is folded
+	// in before the file is written.
+	var base *Report
+	if *baseline != "" {
+		base, err = readReport(*baseline)
+		if err != nil {
+			return fmt.Errorf("baseline delta: %w", err)
+		}
+		report.Baseline = filepath.Base(*baseline)
+		report.GeomeanSpeedup, _ = geomeanSpeedup(base, &report)
+	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -158,10 +176,8 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("bench: %d benchmarks -> %s\n", len(report.Benchmarks), *out)
-	if *baseline != "" {
-		if err := printDelta(*baseline, &report); err != nil {
-			return fmt.Errorf("baseline delta: %w", err)
-		}
+	if base != nil {
+		printDelta(*baseline, base, &report)
 	}
 	if interrupted != nil {
 		return resFlags.Finish(interrupted)
@@ -169,19 +185,51 @@ func run(args []string) error {
 	return nil
 }
 
-// printDelta prints a side-by-side comparison of the fresh report against a
-// baseline JSON: ns/op, states/sec where both rows carry it, and every
-// custom counter-snapshot metric (e.g. cache-hit-%) present on both sides.
-// Rows only present on one side are marked as new or dropped.
-func printDelta(path string, report *Report) error {
+// readReport loads a previously written bench JSON document.
+func readReport(path string) (*Report, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	var base Report
-	if err := json.Unmarshal(data, &base); err != nil {
-		return err
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
 	}
+	return &r, nil
+}
+
+// geomeanSpeedup returns the geometric mean of old/new ns/op across every
+// benchmark present in both reports (matched by package+name), and the
+// number of shared rows. No shared rows yields (0, 0).
+func geomeanSpeedup(base, report *Report) (float64, int) {
+	type key struct{ pkg, name string }
+	old := make(map[key]float64, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		if r.NsPerOp > 0 {
+			old[key{r.Package, r.Name}] = r.NsPerOp
+		}
+	}
+	logSum, n := 0.0, 0
+	for _, r := range report.Benchmarks {
+		b, ok := old[key{r.Package, r.Name}]
+		if !ok || r.NsPerOp <= 0 {
+			continue
+		}
+		logSum += math.Log(b / r.NsPerOp)
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return math.Exp(logSum / float64(n)), n
+}
+
+// printDelta prints a side-by-side comparison of the fresh report against a
+// baseline JSON: ns/op, states/sec where both rows carry it, every custom
+// counter-snapshot metric (e.g. cache-hit-%) present on both sides, and a
+// closing one-line geomean speedup over the shared rows. Rows only present
+// on one side are marked as new or dropped.
+func printDelta(path string, base, report *Report) {
 	type key struct{ pkg, name string }
 	old := make(map[key]Result, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
@@ -213,7 +261,9 @@ func printDelta(path string, report *Report) error {
 	for k := range old {
 		fmt.Printf("%-55s (dropped)\n", k.name)
 	}
-	return nil
+	if gm, n := geomeanSpeedup(base, report); n > 0 {
+		fmt.Printf("geomean speedup: %.2fx over %d shared benchmarks\n", gm, n)
+	}
 }
 
 // formatExtraDelta renders "unit: old -> new" for every custom metric both

@@ -1,0 +1,67 @@
+package arena_test
+
+import (
+	"testing"
+
+	"repro/internal/arena"
+)
+
+func TestWordsZeroedAndDisjoint(t *testing.T) {
+	var a arena.Arena
+	x := a.Words(100)
+	y := a.Words(100)
+	for i := range x {
+		x[i] = ^uint64(0)
+	}
+	for i, w := range y {
+		if w != 0 {
+			t.Fatalf("y[%d] = %x, want 0", i, w)
+		}
+	}
+	// Dirty both, reset, and re-serve: the same memory comes back zeroed.
+	for i := range y {
+		y[i] = ^uint64(0)
+	}
+	a.Reset()
+	z := a.Words(100)
+	for i, w := range z {
+		if w != 0 {
+			t.Fatalf("post-reset z[%d] = %x, want 0", i, w)
+		}
+	}
+	if &z[0] != &x[0] {
+		t.Error("post-reset grab did not reuse the first block")
+	}
+}
+
+func TestWordsLargerThanBlock(t *testing.T) {
+	var a arena.Arena
+	big := a.Words(1 << 16)
+	if len(big) != 1<<16 {
+		t.Fatalf("len = %d", len(big))
+	}
+	if a.Bytes() < 8<<16 {
+		t.Fatalf("Bytes = %d, want >= %d", a.Bytes(), 8<<16)
+	}
+}
+
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	var a arena.Arena
+	grab := func() {
+		a.Reset()
+		a.Words(777)
+		a.Words(333)
+		a.Words(64)
+	}
+	grab() // warm
+	if avg := testing.AllocsPerRun(100, grab); avg != 0 {
+		t.Fatalf("steady-state allocs/op = %v, want 0", avg)
+	}
+}
+
+func TestWordsZeroLen(t *testing.T) {
+	var a arena.Arena
+	if got := a.Words(0); got != nil {
+		t.Fatalf("Words(0) = %v, want nil", got)
+	}
+}

@@ -61,7 +61,17 @@ type IDGraph struct {
 	byCache     map[uint32]uint32
 	gradedOnce  sync.Once
 	graded      bool
+
+	layoutOnce sync.Once
+	spans      []idSpan
+	contiguous bool
+
+	auxMu sync.Mutex
+	aux   map[any]any
 }
+
+// idSpan is a half-open node-id window [lo, hi).
+type idSpan struct{ lo, hi uint32 }
 
 // Len returns the number of nodes.
 func (g *IDGraph) Len() int { return len(g.States) }
@@ -150,6 +160,76 @@ func (g *IDGraph) NodeOfCacheID(cid uint32) (uint32, bool) {
 	})
 	u, ok := g.byCache[cid]
 	return u, ok
+}
+
+// layout runs the CSR layout pass once: it checks that every depth layer is
+// one contiguous run of node ids and records the per-layer windows. BFS
+// discovery assigns ids layer by layer, so graphs built by ExploreID always
+// satisfy this; the pass turns the construction invariant into a checked
+// property the bit-parallel sweeps can rely on. With contiguous layers a
+// layer's nodes are the id range [lo, hi), its edges the CSR range
+// [EdgeStart[lo], EdgeStart[hi]) — both sequential in memory, so a sweep
+// walks EdgeStart/EdgeTo strictly forward (prefetch-friendly) and its
+// 64-node word grid is shared with the field's bit-planes.
+func (g *IDGraph) layout() {
+	g.layoutOnce.Do(func() {
+		rec := obs.Active()
+		defer obs.Span(rec, "layout.time")()
+		g.contiguous = true
+		g.spans = make([]idSpan, len(g.layers))
+		next := uint32(0)
+		for d, layer := range g.layers {
+			lo := next
+			for _, u := range layer {
+				if u != next {
+					g.contiguous = false
+				}
+				next++
+			}
+			g.spans[d] = idSpan{lo: lo, hi: next}
+		}
+		if rec != nil {
+			rec.Add("layout.passes", 1)
+			rec.Event("layout.done",
+				obs.F{Key: "layers", Value: len(g.layers)},
+				obs.F{Key: "nodes", Value: g.Len()},
+				obs.F{Key: "contiguous", Value: g.contiguous})
+		}
+	})
+}
+
+// LayerSpan returns the contiguous node-id window [lo, hi) of the depth-d
+// layer. ok is false when d is out of range or some layer of the graph is
+// not a contiguous id run (impossible for explored graphs, where BFS
+// discovery numbers each layer consecutively; the layout pass verifies it);
+// callers then fall back to Layer's slice view.
+func (g *IDGraph) LayerSpan(d int) (lo, hi uint32, ok bool) {
+	g.layout()
+	if !g.contiguous || d < 0 || d >= len(g.spans) {
+		return 0, 0, false
+	}
+	s := g.spans[d]
+	return s.lo, s.hi, true
+}
+
+// Aux returns the auxiliary analysis value cached on g under key, building
+// it with build on first use. Analyses derive immutable per-graph indexes
+// (bit-planes, check tables) from the CSR arrays; caching them on the graph
+// amortizes the derivation across sweeps the same way byKey and Graded are
+// amortized. key should be an unexported zero-size type owned by the
+// caller. build must not call Aux on the same graph.
+func (g *IDGraph) Aux(key any, build func() any) any {
+	g.auxMu.Lock()
+	defer g.auxMu.Unlock()
+	if v, ok := g.aux[key]; ok {
+		return v
+	}
+	if g.aux == nil {
+		g.aux = make(map[any]any)
+	}
+	v := build()
+	g.aux[key] = v
+	return v
 }
 
 // Graded reports whether every recorded edge goes from a node at depth d to

@@ -321,8 +321,18 @@ func FieldValencesCtx(ctx *resilient.Ctx, g *core.IDGraph, cover Covering) ([]ui
 			if err := chaos.Check(ctx, "decision.field.layer"); err != nil {
 				return interrupted(d, err)
 			}
-			for _, u := range g.Layer(d) {
-				masks[u] = relax(u)
+			// Iterate the layer as its contiguous id window when the layout
+			// pass has verified one: the sweep then reads EdgeStart/EdgeTo
+			// strictly forward (prefetch-friendly), matching the valence
+			// field's access pattern.
+			if lo, hi, ok := g.LayerSpan(d); ok {
+				for u := lo; u < hi; u++ {
+					masks[u] = relax(u)
+				}
+			} else {
+				for _, u := range g.Layer(d) {
+					masks[u] = relax(u)
+				}
 			}
 		}
 		return masks, nil

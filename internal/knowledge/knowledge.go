@@ -123,8 +123,14 @@ func NewClassesCtx(ctx *resilient.Ctx, states []core.State) (*Classes, error) {
 }
 
 // NewClassesLayer computes the common-knowledge partition of one depth
-// layer of a materialized state graph, in discovery order.
+// layer of a materialized state graph, in discovery order. When the layout
+// pass has verified the layer is one contiguous id window (always true for
+// explored graphs), the partition runs directly over that slice of the CSR
+// node array — no copy.
 func NewClassesLayer(g *core.IDGraph, d int) *Classes {
+	if lo, hi, ok := g.LayerSpan(d); ok {
+		return NewClasses(g.States[lo:hi:hi])
+	}
 	layer := g.Layer(d)
 	states := make([]core.State, len(layer))
 	for i, u := range layer {

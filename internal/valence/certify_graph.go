@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -26,6 +27,13 @@ var ErrNotGraded = errors.New("valence: graph is not graded")
 // is the whole memo key). The witness execution is reconstructed from the
 // DFS stack only when a violation is found.
 //
+// The per-visit and per-edge consensus checks are answered from the graph's
+// cached check planes (certPlanesOf): one word test per visited node and
+// one bit test per edge replace the State interface scans, which run only
+// on the rare dirty node or edge to rebuild the exact witness. The planes
+// are derived once per graph and amortized across certifications, the same
+// way the key index and gradedness are.
+//
 // Roots are scanned in Inits order and edges in enumeration order — the
 // same search order as Certify — so the verdict, witness execution, and
 // Explored count are bit-for-bit identical to the recursive certifier's.
@@ -45,6 +53,14 @@ func CertifyGraph(g *core.IDGraph, maxVisits int) (*Witness, error) {
 // fingerprint of the graph) finishes with a verdict, witness, and Explored
 // count bit-identical to an uninterrupted run's.
 func CertifyGraphCtx(ctx *resilient.Ctx, g *core.IDGraph, maxVisits int) (*Witness, error) {
+	c := &graphCertifier{}
+	return c.certify(ctx, g, maxVisits, nil)
+}
+
+// certify runs one certification on a (possibly reused) certifier,
+// allocating visited bitsets from ar when non-nil (the Sweep zero-alloc
+// path) and from the heap otherwise.
+func (c *graphCertifier) certify(ctx *resilient.Ctx, g *core.IDGraph, maxVisits int, ar *arena.Arena) (*Witness, error) {
 	if !g.Graded() {
 		return nil, ErrNotGraded
 	}
@@ -58,7 +74,15 @@ func CertifyGraphCtx(ctx *resilient.Ctx, g *core.IDGraph, maxVisits int) (*Witne
 			obs.F{Key: "depth", Value: g.Depth},
 			obs.F{Key: "roots", Value: len(g.Inits)})
 	}
-	c := &graphCertifier{g: g, ctx: ctx, maxVisits: maxVisits, visited: make(map[uint64][]uint64)}
+	c.g, c.ctx, c.maxVisits, c.ar = g, ctx, maxVisits, ar
+	c.cp = certPlanesOf(g)
+	c.visits, c.steps, c.rootIdx = 0, 0, 0
+	c.bs, c.stack = nil, c.stack[:0]
+	if c.visited == nil {
+		c.visited = make(map[uint64][]uint64)
+	} else {
+		clear(c.visited)
+	}
 	startRoot, midRoot := 0, false
 	if data := ctx.PeekResume(resilient.TagCertify); data != nil {
 		ck, err := DecodeCertifyCheckpoint(data)
@@ -94,7 +118,7 @@ func CertifyGraphCtx(ctx *resilient.Ctx, g *core.IDGraph, maxVisits int) (*Witne
 			// Continue the interrupted root exactly where the stack left it:
 			// its root node and bitset are re-derived, not re-entered.
 			c.root = g.Inits[ri]
-			c.inputs = inputMask(g.States[c.root])
+			c.inputs = c.cp.rootInputs[ri]
 			c.bs = c.bitset(c.inputs)
 			w, err = c.loop()
 		} else {
@@ -109,9 +133,9 @@ func CertifyGraphCtx(ctx *resilient.Ctx, g *core.IDGraph, maxVisits int) (*Witne
 			return w, nil
 		}
 	}
-	w := &Witness{Kind: OK, Explored: c.visits}
-	c.finish(rec, w)
-	return w, nil
+	c.ok = Witness{Kind: OK, Explored: c.visits}
+	c.finish(rec, &c.ok)
+	return &c.ok, nil
 }
 
 // finish publishes the certification's counters and emits certify.done.
@@ -179,6 +203,8 @@ type gframe struct {
 type graphCertifier struct {
 	g         *core.IDGraph
 	ctx       *resilient.Ctx
+	cp        *certPlanes
+	ar        *arena.Arena
 	maxVisits int
 	visits    int
 	// steps counts DFS loop iterations; every 256th polls the context and
@@ -193,6 +219,9 @@ type graphCertifier struct {
 	root    uint32
 	inputs  uint64
 	stack   []gframe
+	// ok is the reused all-clear verdict, so a clean certification on a
+	// warmed certifier allocates nothing.
+	ok Witness
 }
 
 // bitset returns (creating on first use) the visited bitset for an input
@@ -200,7 +229,12 @@ type graphCertifier struct {
 func (c *graphCertifier) bitset(inputs uint64) []uint64 {
 	bs := c.visited[inputs]
 	if bs == nil {
-		bs = make([]uint64, (c.g.Len()+63)/64)
+		words := (c.g.Len() + 63) / 64
+		if c.ar != nil {
+			bs = c.ar.Words(words)
+		} else {
+			bs = make([]uint64, words)
+		}
 		c.visited[inputs] = bs
 	}
 	return bs
@@ -209,7 +243,7 @@ func (c *graphCertifier) bitset(inputs uint64) []uint64 {
 // run certifies the subgraph reachable from one root.
 func (c *graphCertifier) run(root uint32) (*Witness, error) {
 	g := c.g
-	c.inputs = inputMask(g.States[root])
+	c.inputs = c.cp.rootInputs[c.rootIdx]
 	c.bs = c.bitset(c.inputs)
 	c.root = root
 	c.stack = c.stack[:0]
@@ -233,6 +267,7 @@ func (c *graphCertifier) run(root uint32) (*Witness, error) {
 // whose cut is exactly that state.
 func (c *graphCertifier) loop() (*Witness, error) {
 	g := c.g
+	cp := c.cp
 	for len(c.stack) > 0 {
 		c.steps++
 		if c.steps&255 == 0 {
@@ -249,10 +284,14 @@ func (c *graphCertifier) loop() (*Witness, error) {
 		e := top.next
 		top.next++
 		v := g.EdgeTo[e]
-		if w := checkWriteOnce(g.States[u], g.States[v]); w != nil {
-			w.Exec = c.execTo(int32(e))
-			w.Detail = fmt.Sprintf("%s (action %s)", w.Detail, g.EdgeAction[e])
-			return w, nil
+		if cp.bit(cp.woBad, e) {
+			// Dirty edge (precomputed: a decision changes across it):
+			// rebuild the exact witness with the original check.
+			if w := checkWriteOnce(g.States[u], g.States[v]); w != nil {
+				w.Exec = c.execTo(int32(e))
+				w.Detail = fmt.Sprintf("%s (action %s)", w.Detail, g.EdgeAction[e])
+				return w, nil
+			}
 		}
 		if c.seen(v) {
 			continue
@@ -293,18 +332,23 @@ func (c *graphCertifier) stop() error {
 
 // enter performs the first (and only) visit of a node: mark it, count it,
 // and check the state-local requirements — agreement and validity always,
-// decision when the node sits at the bound.
+// decision when the node sits at the bound. The checks are plane reads; a
+// node flagged dirty re-runs the original checkState to build the exact
+// witness (and to stay correct even if the flag over-approximated).
 func (c *graphCertifier) enter(v uint32, via int32) (*Witness, error) {
 	c.mark(v)
 	c.visits++
 	if c.maxVisits > 0 && c.visits > c.maxVisits {
 		return nil, fmt.Errorf("after %d visits: %w", c.visits, ErrBudget)
 	}
-	if w := checkState(c.g.States[v], c.inputs); w != nil {
-		w.Exec = c.execTo(via)
-		return w, nil
+	cp := c.cp
+	if cp.dvals[v]&^c.inputs != 0 || cp.bit(cp.agreeBad, v) {
+		if w := checkState(c.g.States[v], c.inputs); w != nil {
+			w.Exec = c.execTo(via)
+			return w, nil
+		}
 	}
-	if int(c.g.DepthOf[v]) >= c.g.Depth && !core.AllDecided(c.g.States[v]) {
+	if int(c.g.DepthOf[v]) >= c.g.Depth && !cp.bit(cp.allDec, v) {
 		return &Witness{
 			Kind:   UndecidedAtBound,
 			Exec:   c.execTo(via),

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -17,31 +18,56 @@ import (
 //
 //	mask[u] = decidedBits(u) | OR over CSR out-edges of children masks
 //
-// — and stored in a flat []uint8 indexed by node id. No maps, no recursion.
-// For a graph explored to depth B, Mask(u) equals
-// Oracle.Valences(state(u), B-depth(u)): the residual exploration depth is
-// exactly the valence horizon at u, so one field answers every per-layer
-// valence question the experiments ask (the DecreasingHorizon(B, 0)
-// schedule) without re-walking overlapping futures.
+// — and stored as two bit-planes: bit u of plane0 (plane1) is set when node
+// u is 0-valent (1-valent), 64 nodes per uint64 word. No maps, no
+// recursion, no per-node bytes. For a graph explored to depth B, Mask(u)
+// equals Oracle.Valences(state(u), B-depth(u)): the residual exploration
+// depth is exactly the valence horizon at u, so one field answers every
+// per-layer valence question the experiments ask (the
+// DecreasingHorizon(B, 0) schedule) without re-walking overlapping futures.
 //
-// The per-layer OR-propagation is sharded across workers. On graded graphs
-// (every edge goes depth d -> d+1) a node's mask depends only on the
-// already-finished deeper layer, so the parallel write order cannot change
-// the result — the field is deterministic and bit-identical across worker
-// counts. Graphs that are not graded — the asynchronous families can
-// produce same-depth shortcut edges at small n, and hand-built graphs can
-// do anything — fall back to serial reverse sweeps iterated to fixpoint
-// (masks grow monotonically under OR, so the iteration converges); there
-// the mask means "valence within the explored graph": the OR of decided
-// bits over every reachable recorded node.
+// The bit-plane layout is what makes the sweep word-parallel: a layer is a
+// contiguous id window (core.LayerSpan, the BFS construction invariant
+// checked by the layout pass), so the sweep computes 64 nodes' bits into
+// two register accumulators and stores whole plane words — interior words
+// with a plain store, the partial words where a layer boundary cuts a word
+// with a masked merge that preserves the deeper layer's already-final bits.
+// Decided bits come from the per-graph cached decided planes
+// (fieldPlanesOf), so steady-state sweeps perform no State interface calls
+// at all; runs of consecutive child ids (BFS numbers fresh children
+// consecutively) are folded with word-wide ORs over the planes instead of
+// per-edge bit probes.
+//
+// The per-layer propagation is sharded across workers on whole-word
+// boundaries: no two workers ever read-modify-write the same plane word,
+// and on graded graphs (every edge goes depth d -> d+1) a node's mask
+// depends only on the already-finished deeper layer, so the parallel write
+// order cannot change the result — the field is deterministic and
+// bit-identical across worker counts. Graphs that are not graded — the
+// asynchronous families can produce same-depth shortcut edges at small n,
+// and hand-built graphs can do anything — fall back to serial reverse
+// sweeps iterated to fixpoint (masks grow monotonically under OR, so the
+// iteration converges); there the mask means "valence within the explored
+// graph": the OR of decided bits over every reachable recorded node.
 type Field struct {
-	g     *core.IDGraph
-	masks []uint8
+	g *core.IDGraph
+	// fp is the graph's cached decided-bit planes (shared, immutable).
+	fp *fieldPlanes
+	// plane0/plane1 hold the field: bit u set = V0 (V1) in node u's mask.
+	// Arena-backed when the sweep came from a Sweep; see the arena package
+	// for the lifetime rule.
+	plane0, plane1 []uint64
 }
 
 // fieldShardMin is the minimum number of layer nodes per worker shard worth
-// a goroutine; below it the per-layer sweep runs serially.
+// a goroutine; below it the per-layer sweep runs serially. Shards are
+// always cut on 64-node word boundaries so no two workers touch the same
+// plane word (TestFieldShardWordAlignment runs this under -race).
 const fieldShardMin = 256
+
+// runMin is the shortest run of consecutive child ids folded with word-wide
+// ORs over the planes instead of per-edge bit probes.
+const runMin = 16
 
 // NewField computes the valence field of g with a serial sweep.
 func NewField(g *core.IDGraph) *Field { return NewFieldParallel(g, 1) }
@@ -88,6 +114,15 @@ func NewFieldCtx(ctx *resilient.Ctx, g *core.IDGraph) (*Field, error) {
 // the context once per pass but is not checkpointed (the fallback exists
 // for small, hand-built, or shortcut-edged graphs).
 func NewFieldParallelCtx(ctx *resilient.Ctx, g *core.IDGraph, workers int) (*Field, error) {
+	f := &Field{}
+	err := f.compute(ctx, g, workers, nil)
+	return f, err
+}
+
+// compute runs the sweep into f, allocating the planes from ar when
+// non-nil (the Sweep zero-alloc path) and from the heap otherwise. It is
+// the shared engine behind NewFieldParallelCtx and Sweep.Field.
+func (f *Field) compute(ctx *resilient.Ctx, g *core.IDGraph, workers int, ar *arena.Arena) error {
 	// Auto mode (workers <= 0) applies the fieldShardMin heuristic per
 	// layer; an explicit worker count is honored as given, so tests and
 	// callers with odd workloads control the sharding exactly.
@@ -97,21 +132,29 @@ func NewFieldParallelCtx(ctx *resilient.Ctx, g *core.IDGraph, workers int) (*Fie
 	}
 	rec := obs.Active()
 	defer obs.Span(rec, "field.time")()
+	words := (g.Len() + 63) / 64
 	if rec != nil {
 		rec.Add("field.sweeps", 1)
 		rec.Add("field.nodes", int64(g.Len()))
+		rec.Add("field.words", int64(2*words))
 	}
-	f := &Field{g: g, masks: make([]uint8, g.Len())}
+	f.g = g
+	f.fp = fieldPlanesOf(g)
+	if ar != nil {
+		f.plane0, f.plane1 = ar.Words(words), ar.Words(words)
+	} else {
+		f.plane0, f.plane1 = make([]uint64, words), make([]uint64, words)
+	}
 	if g.Graded() {
 		start := g.NumLayers() - 1
 		if data := ctx.PeekResume(resilient.TagField); data != nil {
 			ck, err := DecodeFieldCheckpoint(data)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if ck.Matches(g) {
 				ctx.TakeResume(resilient.TagField)
-				copy(f.masks, ck.Masks)
+				f.loadMasks(ck.Masks)
 				start = ck.NextLayer
 				if rec != nil {
 					rec.Add("field.resumes", 1)
@@ -123,39 +166,42 @@ func NewFieldParallelCtx(ctx *resilient.Ctx, g *core.IDGraph, workers int) (*Fie
 		}
 		for d := start; d >= 0; d-- {
 			if err := chaos.Check(ctx, "field.layer"); err != nil {
-				return f, f.interrupted(rec, d, err)
+				return f.interrupted(rec, d, err)
 			}
-			layer := g.Layer(d)
 			var t0 time.Time
 			if rec != nil {
 				t0 = time.Now() //lint:nondet feeds layer-timing instrumentation only
 			}
-			imbalance, err := f.sweepLayer(ctx, layer, workers, auto, rec != nil)
+			width, imbalance, err := f.sweepLayer(ctx, d, workers, auto, rec != nil)
 			if err != nil {
-				return f, f.interrupted(rec, d, err)
+				return f.interrupted(rec, d, err)
 			}
 			if rec != nil {
 				elapsed := time.Since(t0)
 				rec.Observe("field.layer.time", elapsed)
 				rec.Event("field.layer",
 					obs.F{Key: "depth", Value: d},
-					obs.F{Key: "width", Value: len(layer)},
+					obs.F{Key: "width", Value: width},
 					obs.F{Key: "ns", Value: elapsed.Nanoseconds()},
 					obs.F{Key: "imbalance_pct", Value: imbalance})
 			}
 		}
-		return f, nil
+		return nil
 	}
 	iters := 0
 	for {
 		if err := ctx.Err(); err != nil {
-			return f, fmt.Errorf("valence: field fixpoint interrupted after %d iterations: %w", iters, err)
+			return fmt.Errorf("valence: field fixpoint interrupted after %d iterations: %w", iters, err)
 		}
 		iters++
 		changed := false
 		for u := g.Len() - 1; u >= 0; u-- {
-			if m := f.nodeMask(uint32(u)) | f.masks[u]; m != f.masks[u] {
-				f.masks[u] = m
+			wi, sh := u>>6, uint(u)&63
+			old0, old1 := f.plane0[wi]>>sh&1, f.plane1[wi]>>sh&1
+			m0, m1 := f.nodeBits(uint32(u))
+			if m0&^old0 != 0 || m1&^old1 != 0 {
+				f.plane0[wi] |= m0 << sh
+				f.plane1[wi] |= m1 << sh
 				changed = true
 			}
 		}
@@ -166,14 +212,30 @@ func NewFieldParallelCtx(ctx *resilient.Ctx, g *core.IDGraph, workers int) (*Fie
 					obs.F{Key: "nodes", Value: g.Len()},
 					obs.F{Key: "iterations", Value: iters})
 			}
-			return f, nil
+			return nil
+		}
+	}
+}
+
+// loadMasks restores the planes from a checkpoint's byte-per-node view.
+func (f *Field) loadMasks(masks []uint8) {
+	clear(f.plane0)
+	clear(f.plane1)
+	for u, m := range masks {
+		bit := uint64(1) << (uint(u) & 63)
+		if m&V0 != 0 {
+			f.plane0[u>>6] |= bit
+		}
+		if m&V1 != 0 {
+			f.plane1[u>>6] |= bit
 		}
 	}
 }
 
 // interrupted finalizes a sweep cut: layers above nextLayer are complete in
-// f.masks, layer nextLayer may be partially written, and the checkpoint
-// records exactly that, attached to the returned error.
+// the planes, layer nextLayer may be partially written, and the checkpoint
+// records exactly that (in the stable byte-per-node encoding), attached to
+// the returned error.
 func (f *Field) interrupted(rec obs.Recorder, nextLayer int, cause error) error {
 	if rec != nil {
 		rec.Add("field.interrupts", 1)
@@ -184,7 +246,7 @@ func (f *Field) interrupted(rec obs.Recorder, nextLayer int, cause error) error 
 	ck := &FieldCheckpoint{
 		Fingerprint: graphFingerprint(f.g),
 		NextLayer:   nextLayer,
-		Masks:       append([]uint8(nil), f.masks...),
+		Masks:       f.Masks(),
 	}
 	err := fmt.Errorf("valence: field sweep interrupted at layer %d: %w", nextLayer, cause)
 	return resilient.WithCheckpoint(err, ck)
@@ -192,23 +254,42 @@ func (f *Field) interrupted(rec obs.Recorder, nextLayer int, cause error) error 
 
 // sweepLayer computes the masks of one finished-children layer, sharding
 // across pool workers when the layer is large enough to pay for
-// goroutines (auto mode) or exactly as requested (explicit workers). With
-// measure set it times each shard and returns the worker-imbalance ratio,
-// max shard time over mean shard time, in percent (100 = perfectly
-// balanced; 0 when the layer ran serially or unmeasured).
-func (f *Field) sweepLayer(ctx *resilient.Ctx, layer []uint32, workers int, auto, measure bool) (imbalancePct int64, err error) {
-	if max := len(layer) / fieldShardMin; auto && workers > max {
+// goroutines (auto mode) or exactly as requested (explicit workers).
+// Shards are whole-word ranges of the planes, so no two workers ever
+// read-modify-write the same uint64. With measure set it times each shard
+// and returns the worker-imbalance ratio, max shard time over mean shard
+// time, in percent (100 = perfectly balanced; 0 when the layer ran
+// serially or unmeasured).
+func (f *Field) sweepLayer(ctx *resilient.Ctx, d, workers int, auto, measure bool) (width int, imbalancePct int64, err error) {
+	g := f.g
+	lo, hi, contiguous := g.LayerSpan(d)
+	if !contiguous {
+		// A graded graph whose layer is not one id window (possible only
+		// for hand-assembled graphs; BFS exploration always numbers layers
+		// consecutively): sweep serially with per-node bit writes — word
+		// sharding needs the window invariant.
+		layer := g.Layer(d)
+		f.sweepNodes(layer)
+		return len(layer), 0, nil
+	}
+	width = int(hi - lo)
+	if max := width / fieldShardMin; auto && workers > max {
 		workers = max
 	}
-	if workers > len(layer) {
-		workers = len(layer)
+	if workers > width {
+		workers = width
 	}
 	if workers <= 1 {
-		f.sweepRange(layer)
-		return 0, nil
+		f.sweepSpan(lo, hi)
+		return width, 0, nil
 	}
-	shard := (len(layer) + workers - 1) / workers
-	nShards := (len(layer) + shard - 1) / shard
+	// Shards are whole-word ranges; a span narrower than the worker count's
+	// word budget simply yields fewer shards (never a sub-word split), and
+	// explicit worker counts still route through the pool so cancellation
+	// and fault-injection semantics are uniform.
+	w0, w1 := int(lo>>6), int(hi+63)>>6
+	per := (w1 - w0 + workers - 1) / workers
+	nShards := (w1 - w0 + per - 1) / per
 	var shardNs []int64
 	if measure {
 		shardNs = make([]int64, nShards)
@@ -218,26 +299,28 @@ func (f *Field) sweepLayer(ctx *resilient.Ctx, layer []uint32, workers int, auto
 		if cerr := chaos.Check(sctx, "field.shard"); cerr != nil {
 			return cerr
 		}
-		lo := w * shard
-		hi := lo + shard
-		if hi > len(layer) {
-			hi = len(layer)
+		a := uint32((w0 + w*per) << 6)
+		b := uint32((w0 + (w+1)*per) << 6)
+		if a < lo {
+			a = lo
 		}
-		part := layer[lo:hi]
+		if b > hi {
+			b = hi
+		}
 		if shardNs != nil {
 			t0 := time.Now() //lint:nondet feeds shard-timing instrumentation only
-			f.sweepRange(part)
+			f.sweepSpan(a, b)
 			shardNs[w] = time.Since(t0).Nanoseconds()
 			return nil
 		}
-		f.sweepRange(part)
+		f.sweepSpan(a, b)
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return width, 0, err
 	}
 	if shardNs == nil {
-		return 0, nil
+		return width, 0, nil
 	}
 	var max, total int64
 	for _, ns := range shardNs {
@@ -247,57 +330,173 @@ func (f *Field) sweepLayer(ctx *resilient.Ctx, layer []uint32, workers int, auto
 		}
 	}
 	if total == 0 {
-		return 0, nil
+		return width, 0, nil
 	}
-	return max * 100 * int64(len(shardNs)) / total, nil
+	return width, max * 100 * int64(len(shardNs)) / total, nil
 }
 
-// sweepRange computes the masks of a slice of same-layer nodes. Each node's
-// mask is written by exactly one worker and reads only deeper-layer masks,
-// so concurrent shards never touch the same index.
-func (f *Field) sweepRange(part []uint32) {
+// sweepSpan computes the plane bits of the node-id window [a, b) — same-
+// layer nodes whose children's bits are final. It accumulates each word's
+// 64 masks in two registers and stores whole plane words; at the window's
+// edges, where a word is shared with a neighboring layer, it merges under
+// a mask that preserves the deeper layer's already-final bits (the
+// shallower side's stale bits are overwritten when that layer is swept).
+// Each plane word is written by exactly one worker — shards are whole-word
+// ranges — so concurrent spans never touch the same uint64.
+func (f *Field) sweepSpan(a, b uint32) {
 	g := f.g
-	for _, u := range part {
-		m := uint8(core.DecidedValues(g.States[u]) & 0b11)
-		lo, hi := g.EdgeStart[u], g.EdgeStart[u+1]
-		for e := lo; e < hi && m != V0|V1; e++ {
-			m |= f.masks[g.EdgeTo[e]]
+	d0, d1 := f.fp.d0, f.fp.d1
+	p0, p1 := f.plane0, f.plane1
+	es, et := g.EdgeStart, g.EdgeTo
+	for a < b {
+		wi := a >> 6
+		base := wi << 6
+		we := base + 64
+		if we > b {
+			we = b
 		}
-		f.masks[u] = m
+		start := a
+		var acc0, acc1 uint64
+		for ; a < we; a++ {
+			sh := a & 63
+			m0 := d0[wi] >> sh & 1
+			m1 := d1[wi] >> sh & 1
+			for e, ehi := es[a], es[a+1]; e < ehi && m0&m1 == 0; {
+				// BFS numbers a node's fresh children consecutively, so
+				// child windows are mostly runs of consecutive ids: fold a
+				// long run with word-wide ORs over the contiguous plane
+				// range instead of probing bit by bit.
+				r := e + 1
+				for r < ehi && et[r] == et[r-1]+1 {
+					r++
+				}
+				if r-e >= runMin {
+					o0, o1 := orRange(p0, p1, et[e], et[e]+(r-e))
+					m0 |= o0
+					m1 |= o1
+				} else {
+					for ; e < r; e++ {
+						v := et[e]
+						m0 |= p0[v>>6] >> (v & 63) & 1
+						m1 |= p1[v>>6] >> (v & 63) & 1
+					}
+					continue
+				}
+				e = r
+			}
+			acc0 |= m0 << sh
+			acc1 |= m1 << sh
+		}
+		if start == base && we == base+64 {
+			p0[wi] = acc0
+			p1[wi] = acc1
+			continue
+		}
+		mask := (uint64(1)<<(we-start) - 1) << (start & 63)
+		p0[wi] = p0[wi]&^mask | acc0
+		p1[wi] = p1[wi]&^mask | acc1
 	}
 }
 
-// nodeMask is the non-graded fallback's transfer function: decided bits OR
-// all recorded children masks.
-func (f *Field) nodeMask(u uint32) uint8 {
-	g := f.g
-	m := uint8(core.DecidedValues(g.States[u]) & 0b11)
-	lo, hi := g.EdgeStart[u], g.EdgeStart[u+1]
-	for e := lo; e < hi && m != V0|V1; e++ {
-		m |= f.masks[g.EdgeTo[e]]
+// orRange ORs the plane bits of the node-id range [lo, hi) and returns the
+// two results normalized to 0/1.
+func orRange(p0, p1 []uint64, lo, hi uint32) (uint64, uint64) {
+	wl, wh := lo>>6, (hi-1)>>6
+	var o0, o1 uint64
+	if wl == wh {
+		var mask uint64
+		if hi-lo == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = (uint64(1)<<(hi-lo) - 1) << (lo & 63)
+		}
+		o0, o1 = p0[wl]&mask, p1[wl]&mask
+	} else {
+		o0, o1 = p0[wl]>>(lo&63), p1[wl]>>(lo&63)
+		for w := wl + 1; w < wh; w++ {
+			o0 |= p0[w]
+			o1 |= p1[w]
+		}
+		tail := hi - wh<<6
+		var mask uint64
+		if tail == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = uint64(1)<<tail - 1
+		}
+		o0 |= p0[wh] & mask
+		o1 |= p1[wh] & mask
 	}
-	return m
+	if o0 != 0 {
+		o0 = 1
+	}
+	if o1 != 0 {
+		o1 = 1
+	}
+	return o0, o1
+}
+
+// sweepNodes is the non-contiguous-layer fallback: per-node bit writes in
+// slice order, serial only.
+func (f *Field) sweepNodes(part []uint32) {
+	for _, u := range part {
+		m0, m1 := f.nodeBits(u)
+		wi, sh := u>>6, u&63
+		f.plane0[wi] = f.plane0[wi]&^(1<<sh) | m0<<sh
+		f.plane1[wi] = f.plane1[wi]&^(1<<sh) | m1<<sh
+	}
+}
+
+// nodeBits is the per-node transfer function on planes: decided bits OR
+// all recorded children bits, early-exiting once both are set. Used by the
+// fallback paths (fixpoint, non-contiguous layers); the span sweep inlines
+// the same computation.
+func (f *Field) nodeBits(u uint32) (m0, m1 uint64) {
+	g := f.g
+	wi, sh := u>>6, u&63
+	m0 = f.fp.d0[wi] >> sh & 1
+	m1 = f.fp.d1[wi] >> sh & 1
+	lo, hi := g.EdgeStart[u], g.EdgeStart[u+1]
+	for e := lo; e < hi && m0&m1 == 0; e++ {
+		v := g.EdgeTo[e]
+		m0 |= f.plane0[v>>6] >> (v & 63) & 1
+		m1 |= f.plane1[v>>6] >> (v & 63) & 1
+	}
+	return m0, m1
 }
 
 // Graph returns the underlying graph.
 func (f *Field) Graph() *core.IDGraph { return f.g }
 
 // Len returns the number of nodes.
-func (f *Field) Len() int { return len(f.masks) }
+func (f *Field) Len() int { return f.g.Len() }
 
 // Mask returns node u's valence mask.
-func (f *Field) Mask(u uint32) uint8 { return f.masks[u] }
+func (f *Field) Mask(u uint32) uint8 {
+	wi, sh := u>>6, u&63
+	return uint8(f.plane0[wi]>>sh&1)*V0 | uint8(f.plane1[wi]>>sh&1)*V1
+}
 
-// Masks returns the whole mask array, indexed by node id (shared; callers
-// must not modify).
-func (f *Field) Masks() []uint8 { return f.masks }
+// Masks materializes the byte-per-node view of the field — the shape the
+// RSCK checkpoint sections and differential tests consume. The slice is
+// fresh; mutating it does not affect the field.
+func (f *Field) Masks() []uint8 {
+	out := make([]uint8, f.g.Len())
+	for u := range out {
+		out[u] = f.Mask(uint32(u))
+	}
+	return out
+}
 
 // Horizon returns the valence horizon at node u: the residual exploration
 // depth B - depth(u) that Mask(u) is exact for (on graded graphs).
 func (f *Field) Horizon(u uint32) int { return f.g.Depth - int(f.g.DepthOf[u]) }
 
 // Bivalent reports whether node u is bivalent within its residual horizon.
-func (f *Field) Bivalent(u uint32) bool { return f.masks[u] == V0|V1 }
+func (f *Field) Bivalent(u uint32) bool {
+	wi, sh := u>>6, u&63
+	return ((f.plane0[wi]&f.plane1[wi])>>sh)&1 != 0
+}
 
 // MaskOf returns the mask of the node holding state x, if x is in the
 // graph.
@@ -306,7 +505,7 @@ func (f *Field) MaskOf(x core.State) (uint8, bool) {
 	if !ok {
 		return 0, false
 	}
-	return f.masks[u], true
+	return f.Mask(u), true
 }
 
 // LayerMasks returns the masks of depth-d nodes in discovery order (a fresh
@@ -315,7 +514,7 @@ func (f *Field) LayerMasks(d int) []uint8 {
 	layer := f.g.Layer(d)
 	out := make([]uint8, len(layer))
 	for i, u := range layer {
-		out[i] = f.masks[u]
+		out[i] = f.Mask(u)
 	}
 	return out
 }
@@ -332,10 +531,10 @@ func (f *Field) Width() *WidthProfile {
 		Univalent1: make([]int, nl),
 		Null:       make([]int, nl),
 	}
-	for u, m := range f.masks {
+	for u := 0; u < f.g.Len(); u++ {
 		d := f.g.DepthOf[u]
 		p.States[d]++
-		switch m {
+		switch f.Mask(uint32(u)) {
 		case V0 | V1:
 			p.Bivalent[d]++
 		case V0:
@@ -377,7 +576,7 @@ func (f *Field) AnalyzeNode(u uint32) *LayerReport {
 
 	r.Valences = make([]uint8, len(nodes))
 	for i, v := range nodes {
-		r.Valences[i] = f.masks[v]
+		r.Valences[i] = f.Mask(v)
 		switch r.Valences[i] {
 		case V0 | V1:
 			r.BivalentIdx = append(r.BivalentIdx, i)

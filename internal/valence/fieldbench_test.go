@@ -1,0 +1,131 @@
+package valence_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/protocols"
+	"repro/internal/syncmp"
+	"repro/internal/valence"
+)
+
+// BenchmarkFieldSweep is the kernel-level micro-benchmark grid for the
+// valence field: scalar reference engine vs bit-plane sweep, serial vs
+// parallel, graded vs fixpoint-fallback graphs. Every row reports
+// states/sec and allocs/op, so a kernel regression shows up here without
+// running the full cmd/bench suite (`make benchfield` runs the grid in
+// -benchtime=1x smoke mode on every tier1 pass).
+func BenchmarkFieldSweep(b *testing.B) {
+	graded := func(n, t int) *core.IDGraph {
+		m := syncmp.NewSt(protocols.FloodSet{Rounds: t + 1}, n, t)
+		g, err := core.ExploreIDParallel(m, t+1, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	}
+	fixpoint := func(k int) *core.IDGraph {
+		g, err := core.ExploreID(chainModel{k: k}, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.Graded() {
+			b.Fatal("fixpoint fixture is graded")
+		}
+		return g
+	}
+	perSec := func(b *testing.B, g *core.IDGraph) {
+		b.ReportMetric(float64(g.Len())*float64(b.N)/b.Elapsed().Seconds(), "states/sec")
+	}
+
+	for _, cfg := range []struct{ n, t int }{{4, 2}, {6, 1}} {
+		g := graded(cfg.n, cfg.t)
+		name := fmt.Sprintf("graded/n=%d/t=%d", cfg.n, cfg.t)
+		b.Run(name+"/scalar", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(valence.ScalarMasks(g)) != g.Len() {
+					b.Fatal("size mismatch")
+				}
+			}
+			perSec(b, g)
+		})
+		b.Run(name+"/planes-serial", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if valence.NewField(g).Len() != g.Len() {
+					b.Fatal("size mismatch")
+				}
+			}
+			perSec(b, g)
+		})
+		b.Run(name+"/planes-parallel", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if valence.NewFieldParallel(g, 2).Len() != g.Len() {
+					b.Fatal("size mismatch")
+				}
+			}
+			perSec(b, g)
+		})
+		b.Run(name+"/planes-arena", func(b *testing.B) {
+			var s valence.Sweep
+			s.Field(g, 1) // warm
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if s.Field(g, 1).Len() != g.Len() {
+					b.Fatal("size mismatch")
+				}
+			}
+			perSec(b, g)
+		})
+	}
+
+	g := fixpoint(300)
+	b.Run("fixpoint/chain=300/scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(valence.ScalarMasks(g)) != g.Len() {
+				b.Fatal("size mismatch")
+			}
+		}
+		perSec(b, g)
+	})
+	b.Run("fixpoint/chain=300/planes", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if valence.NewField(g).Len() != g.Len() {
+				b.Fatal("size mismatch")
+			}
+		}
+		perSec(b, g)
+	})
+}
+
+// BenchmarkCertifyGraphArena is BenchmarkCertifyGraph through the reused
+// Sweep: the zero-alloc steady state the experiment drivers run in.
+func BenchmarkCertifyGraphArena(b *testing.B) {
+	for _, cfg := range []struct{ n, t int }{{5, 1}, {6, 1}} {
+		b.Run(fmt.Sprintf("floodset/n=%d/t=%d", cfg.n, cfg.t), func(b *testing.B) {
+			m := syncmp.NewSt(protocols.FloodSet{Rounds: cfg.t + 1}, cfg.n, cfg.t)
+			g, err := core.ExploreIDParallel(m, cfg.t+1, 0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var s valence.Sweep
+			if _, err := s.CertifyGraph(g, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w, err := s.CertifyGraph(g, 0)
+				if err != nil || w.Kind != valence.OK {
+					b.Fatal(err, w.Kind)
+				}
+			}
+		})
+	}
+}

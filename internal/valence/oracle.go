@@ -152,7 +152,7 @@ func (o *Oracle) fieldLookup(id uint32, horizon int) (uint8, bool) {
 		return 0, false
 	}
 	fh := o.field.Horizon(u)
-	m := o.field.masks[u]
+	m := o.field.Mask(u)
 	if m == V0|V1 {
 		o.markBivalent(id, fh)
 	}

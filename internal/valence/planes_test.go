@@ -1,0 +1,233 @@
+package valence_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/resilient"
+	"repro/internal/valence"
+)
+
+// wmState is a node of the synthetic wide graded model: layer, index within
+// the layer, and an optional decided value (-1 = undecided). Two dummy
+// processes, no failures.
+type wmState struct {
+	layer, idx, decide int
+}
+
+func (s wmState) N() int      { return 2 }
+func (s wmState) Key() string { return fmt.Sprintf("wm|%d|%d|%d", s.layer, s.idx, s.decide) }
+func (s wmState) EnvKey() string {
+	return strconv.Itoa(s.layer)
+}
+func (s wmState) Local(i int) string { return fmt.Sprintf("%d|%d|%d", i, s.idx, s.decide) }
+func (s wmState) Decided(int) (int, bool) {
+	if s.decide < 0 {
+		return core.Undecided, false
+	}
+	return s.decide, true
+}
+func (s wmState) FailedAt(int) bool { return false }
+
+// wideModel is a graded model with `width` nodes at every layer: node
+// (d, i) steps to (d+1, i) and (d+1, (i+1) mod width), and the layer at
+// `depth` decides idx mod 2. Its layers are wide enough to span several
+// 64-node words, which is what the word-aligned sharding tests need.
+type wideModel struct{ width, depth int }
+
+func (m wideModel) Name() string { return "test/wide" }
+
+func (m wideModel) Inits() []core.State {
+	out := make([]core.State, m.width)
+	for i := range out {
+		out[i] = wmState{layer: 0, idx: i, decide: -1}
+	}
+	return out
+}
+
+func (m wideModel) Successors(x core.State) []core.Succ {
+	s := x.(wmState)
+	next := s.layer + 1
+	dec := func(idx int) int {
+		if next >= m.depth {
+			return idx % 2
+		}
+		return -1
+	}
+	i, j := s.idx, (s.idx+1)%m.width
+	return []core.Succ{
+		{Action: "a", State: wmState{layer: next, idx: i, decide: dec(i)}},
+		{Action: "b", State: wmState{layer: next, idx: j, decide: dec(j)}},
+	}
+}
+
+// chState is a node of the synthetic same-depth-chain model: chain index
+// (decide < 0) or a decided leaf.
+type chState struct {
+	id, decide int
+}
+
+func (s chState) N() int             { return 2 }
+func (s chState) Key() string        { return fmt.Sprintf("ch|%d|%d", s.id, s.decide) }
+func (s chState) EnvKey() string     { return "" }
+func (s chState) Local(i int) string { return fmt.Sprintf("%d|%d|%d", i, s.id, s.decide) }
+func (s chState) Decided(int) (int, bool) {
+	if s.decide < 0 {
+		return core.Undecided, false
+	}
+	return s.decide, true
+}
+func (s chState) FailedAt(int) bool { return false }
+
+// chainModel produces a non-graded graph: every chain node c_0..c_k is an
+// initial state, c_i steps to c_(i-1) — a same-depth shortcut edge, since
+// both ends sit in layer 0 — and c_0 steps to a leaf that decides 0. With
+// k >= 64 the shortcut edges cross the 64-node word boundary, and the
+// descending-id fixpoint sweep needs ~k passes because valence propagates
+// toward increasing ids one step per pass.
+type chainModel struct{ k int }
+
+func (m chainModel) Name() string { return "test/chain" }
+
+func (m chainModel) Inits() []core.State {
+	out := make([]core.State, m.k+1)
+	for i := range out {
+		out[i] = chState{id: i, decide: -1}
+	}
+	return out
+}
+
+func (m chainModel) Successors(x core.State) []core.Succ {
+	s := x.(chState)
+	if s.id == 0 {
+		return []core.Succ{{Action: "d", State: chState{id: -1, decide: 0}}}
+	}
+	return []core.Succ{{Action: "s", State: chState{id: s.id - 1, decide: -1}}}
+}
+
+// TestFieldShardWordAlignment sweeps a graph whose layers span several
+// 64-node words with explicit worker counts and requires bit-identity with
+// the serial sweep and the scalar reference engine. Run under -race (the
+// Makefile race target does), it is the guard the shard geometry is pinned
+// by: shards must be cut on whole-word boundaries, and a reintroduced
+// sub-word split would make two workers read-modify-write the same plane
+// word — a write-write race the detector flags even when the masks happen
+// to come out right.
+func TestFieldShardWordAlignment(t *testing.T) {
+	g, err := core.ExploreID(wideModel{width: 200, depth: 3}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Graded() {
+		t.Fatal("wide model graph should be graded")
+	}
+	if lo, hi, ok := g.LayerSpan(1); !ok || hi-lo != 200 {
+		t.Fatalf("LayerSpan(1) = [%d,%d) ok=%v, want a 200-node window", lo, hi, ok)
+	}
+	scalar := valence.ScalarMasks(g)
+	serial := valence.NewField(g)
+	if !bytes.Equal(serial.Masks(), scalar) {
+		t.Fatal("serial bit-plane field differs from scalar reference")
+	}
+	// 200-node layers occupy 4 plane words, so worker counts 2..4 produce
+	// genuinely concurrent word-range shards (explicit counts bypass the
+	// fieldShardMin heuristic).
+	for _, workers := range []int{2, 3, 4, runtime.GOMAXPROCS(0)} {
+		f := valence.NewFieldParallel(g, workers)
+		if !bytes.Equal(f.Masks(), scalar) {
+			t.Fatalf("workers=%d: sharded field differs from scalar reference", workers)
+		}
+	}
+}
+
+// TestFieldFixpointWordBoundary pins the non-graded fixpoint fallback at
+// word boundaries: the chain model's same-depth shortcut edges cross the
+// 64-node word boundary (c_64 -> c_63 reads plane word 1 while computing
+// word 0, and the decided leaf's bit must then march back up across the
+// boundary one pass at a time). Masks must be bit-identical to the scalar
+// engine and to the known answer — every node 0-valent.
+func TestFieldFixpointWordBoundary(t *testing.T) {
+	const k = 100
+	g, err := core.ExploreID(chainModel{k: k}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Graded() {
+		t.Fatal("chain model graph should not be graded (same-depth shortcut edges)")
+	}
+	if g.Len() != k+2 {
+		t.Fatalf("graph has %d nodes, want %d", g.Len(), k+2)
+	}
+	f := valence.NewField(g)
+	scalar := valence.ScalarMasks(g)
+	if !bytes.Equal(f.Masks(), scalar) {
+		t.Fatal("fixpoint bit-plane field differs from scalar reference")
+	}
+	for u := 0; u < g.Len(); u++ {
+		if got := f.Mask(uint32(u)); got != valence.V0 {
+			t.Fatalf("node %d: mask %02b, want %02b (0-valent via the chain)", u, got, valence.V0)
+		}
+	}
+}
+
+// TestFieldMatchesScalarPlanes is the tentpole's pinning property: across
+// all nine model families, graded and fixpoint graphs, worker counts
+// {1, 2, GOMAXPROCS}, and a checkpoint/resume cut, the bit-plane field is
+// bit-for-bit identical to the retained scalar reference engine.
+func TestFieldMatchesScalarPlanes(t *testing.T) {
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for _, n := range []int{2, 3} {
+		for _, mc := range fieldModels(n, 1, 2) {
+			depth := 2
+			if mc.heavy && n >= 3 {
+				depth = 1
+			}
+			t.Run(fmt.Sprintf("%s-n%d-d%d", mc.name, n, depth), func(t *testing.T) {
+				g, err := core.ExploreID(mc.m, depth, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scalar := valence.ScalarMasks(g)
+				for _, workers := range workerCounts {
+					f := valence.NewFieldParallel(g, workers)
+					if !bytes.Equal(f.Masks(), scalar) {
+						t.Fatalf("workers=%d: bit-plane field differs from scalar (graded=%v)", workers, g.Graded())
+					}
+				}
+				// A reused Sweep (arena-backed planes) must agree too.
+				var s valence.Sweep
+				for i := 0; i < 2; i++ {
+					if !bytes.Equal(s.Field(g, 1).Masks(), scalar) {
+						t.Fatalf("sweep pass %d: arena-backed field differs from scalar", i)
+					}
+				}
+				if !g.Graded() {
+					return // the fixpoint fallback is not checkpointed
+				}
+				// Cut the sweep mid-way, resume from the persisted
+				// checkpoint, and require the same bits.
+				plan := chaos.NewPlan().Set("field.layer",
+					chaos.Rule{Hit: uint64(1 + g.NumLayers()/2), Kind: chaos.KindCancel})
+				chaos.Arm(plan)
+				_, perr := valence.NewFieldParallelCtx(nil, g, 2)
+				chaos.Disarm()
+				if !errors.Is(perr, resilient.ErrPartial) {
+					t.Fatalf("cut err = %v, want ErrPartial family", perr)
+				}
+				got, rerr := valence.NewFieldParallelCtx(resumeCtx(t, perr), g, 2)
+				if rerr != nil {
+					t.Fatal(rerr)
+				}
+				if !bytes.Equal(got.Masks(), scalar) {
+					t.Fatal("resumed bit-plane field differs from scalar")
+				}
+			})
+		}
+	}
+}
