@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race vet lint vettool chaos bench benchfield profile clean
+.PHONY: all build test tier1 race vet lint vettool chaos bench benchfield benchexplore profile clean
 
 all: tier1
 
@@ -30,6 +30,7 @@ test:
 race:
 	$(GO) test -race ./internal/...
 	$(GO) test -race -run 'TestFieldPropertyMatchesOracle|TestCertifyGraphMatchesRecursive|TestFieldShardWordAlignment|TestFieldMatchesScalarPlanes' ./internal/valence
+	$(GO) test -race -run 'TestSharded' .
 	$(GO) test -race ./internal/obs ./internal/cli ./cmd/lint
 
 # chaos runs the deterministic fault-injection suite under the race
@@ -50,14 +51,15 @@ chaos:
 # above; ./internal/... also covers internal/analysis and its fixture
 # tests), the chaos fault-injection suite, and a one-iteration smoke pass
 # of the field-kernel micro-benchmarks.
-tier1: build vet lint test race chaos benchfield
+tier1: build vet lint test race chaos benchfield benchexplore
 
-# bench regenerates BENCH_4.json from the E1–E11 experiment benchmarks,
-# the certifier and field-kernel benchmarks, and the resilience overhead
-# rows, and prints the per-row delta (plus the geomean speedup line)
-# against the committed PR 5 baseline BENCH_3.json.
+# bench regenerates BENCH_5.json from the E1–E11 experiment benchmarks,
+# the sharded/legacy exploration grid, the certifier and field-kernel
+# benchmarks, and the resilience overhead rows, and prints the per-row
+# delta (plus the geomean speedup line) against the committed PR 6
+# baseline BENCH_4.json.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_4.json -baseline BENCH_3.json
+	$(GO) run ./cmd/bench -out BENCH_5.json -baseline BENCH_4.json
 
 # benchfield smoke-runs the valence field micro-benchmark grid (scalar vs
 # bit-plane, serial vs sharded, graded vs fixpoint, arena steady state) at
@@ -65,6 +67,13 @@ bench:
 # allocs, not their timings; use `make bench` for real numbers.
 benchfield:
 	$(GO) test ./internal/valence -run '^$$' -bench 'BenchmarkFieldSweep|BenchmarkCertifyGraphArena' -benchtime 1x -benchmem
+
+# benchexplore smoke-runs the sharded-vs-legacy exploration grid (model ×
+# implementation × cold/warm × workers) at one iteration per row — it
+# validates the grid still explores and both cache implementations agree
+# on states/edges; use `make bench` for real numbers.
+benchexplore:
+	$(GO) test . -run '^$$' -bench 'BenchmarkExplore' -benchtime 1x -benchmem
 
 # profile reruns the benchmark suites with CPU/heap profiling enabled and
 # leaves the profiles, test binaries, and a BENCH json under profiles/.

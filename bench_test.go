@@ -9,6 +9,7 @@ package layers_test
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"testing"
 
 	layers "repro"
@@ -387,6 +388,81 @@ func BenchmarkE9_Extensions(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkExplore — the exploration front-end itself, measured for the
+// hash-sharded successor cache against the pinned legacy single-lock cache
+// (grid: 3 models × {sharded, legacy} × {cold, warm} × worker counts).
+// cold rows pay first-sight interning and enumeration on a fresh cache
+// every iteration; warm rows re-explore over an already-populated cache —
+// the steady state every multi-pass analysis (explore → certify → field →
+// diameter) and the roadmap's serving scenario live in, where the
+// memoized-hit path is the whole per-node cache cost. Worker counts shard
+// the frontier warming; on a single-CPU host the w>1 rows only add
+// scheduling overhead, so the sharded-vs-legacy comparison at matched
+// (model, mode, w) is the portable signal — cmd/bench reduces exactly
+// those pairs to the exploration geomean.
+func BenchmarkExplore(b *testing.B) {
+	grid := []struct {
+		name  string
+		m     layers.Model
+		depth int
+	}{
+		{"mobile/n=4", layers.MobileS1(protocols.FloodSet{Rounds: 2}, 4), 2},
+		{"syncst/n=4/t=2", layers.SyncSt(protocols.FloodSet{Rounds: 3}, 4, 2), 3},
+		{"shmem/n=3", layers.SharedMemory(protocols.SMVote{Phases: 2}, 3), 2},
+	}
+	var workers []int
+	for _, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		dup := false
+		for _, seen := range workers {
+			dup = dup || seen == w
+		}
+		if !dup {
+			workers = append(workers, w)
+		}
+	}
+	for _, tc := range grid {
+		raw := core.CacheOf(tc.m).Uncached()
+		newCache := func(impl string) core.Interner {
+			if impl == "legacy" {
+				return core.NewLegacyCache(raw)
+			}
+			return core.NewSuccessorCache(raw)
+		}
+		for _, impl := range []string{"sharded", "legacy"} {
+			for _, mode := range []string{"cold", "warm"} {
+				for _, w := range workers {
+					b.Run(fmt.Sprintf("%s/%s/%s/w=%d", tc.name, impl, mode, w), func(b *testing.B) {
+						var shared core.Interner
+						if mode == "warm" {
+							shared = newCache(impl)
+							if _, err := core.ExploreIDWith(shared, tc.m, tc.depth, 0, w); err != nil {
+								b.Fatal(err)
+							}
+						}
+						var g *core.IDGraph
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							c := shared
+							if c == nil {
+								// cold: a fresh cache per iteration, its
+								// construction priced into the row.
+								c = newCache(impl)
+							}
+							var err error
+							g, err = core.ExploreIDWith(c, tc.m, tc.depth, 0, w)
+							if err != nil {
+								b.Fatal(err)
+							}
+						}
+						b.ReportMetric(float64(g.Len()), "states")
+						b.ReportMetric(float64(g.NumEdges()), "edges")
+					})
+				}
+			}
+		}
+	}
 }
 
 // BenchmarkResilience — overhead rows for the resilient execution layer.

@@ -1,8 +1,10 @@
-// Command bench runs the repository's experiment benchmarks (E1–E11 in the
-// root package, plus the certifier benchmarks in internal/valence) through
-// `go test -bench` and distills the results into a machine-readable JSON
-// file — ns/op, B/op, allocs/op, and, for benchmarks that report a "states"
-// metric, the derived states/sec throughput.
+// Command bench runs the repository's experiment benchmarks (E1–E11 and
+// the sharded/legacy exploration grid in the root package, plus the
+// certifier benchmarks in internal/valence) through `go test -bench` and
+// distills the results into a machine-readable JSON file — ns/op, B/op,
+// allocs/op, and, for benchmarks that report a "states" metric, the
+// derived states/sec throughput. The BenchmarkExplore grid's paired rows
+// are additionally reduced to a within-run sharded-vs-legacy geomean.
 //
 // Usage:
 //
@@ -62,9 +64,14 @@ type Report struct {
 	// Baseline and GeomeanSpeedup are set when -baseline was given: the
 	// baseline file name and the geometric mean of old/new ns/op across
 	// every benchmark present in both reports.
-	Baseline       string   `json:"baseline,omitempty"`
-	GeomeanSpeedup float64  `json:"geomean_speedup,omitempty"`
-	Benchmarks     []Result `json:"benchmarks"`
+	Baseline       string  `json:"baseline,omitempty"`
+	GeomeanSpeedup float64 `json:"geomean_speedup,omitempty"`
+	// ExploreShardedSpeedup is the geometric mean of legacy/sharded ns/op
+	// across the BenchmarkExplore grid's paired rows — the sharded
+	// successor cache's speedup over the pinned single-lock reference on
+	// the exploration-bound workload, measured within this run.
+	ExploreShardedSpeedup float64  `json:"explore_sharded_speedup,omitempty"`
+	Benchmarks            []Result `json:"benchmarks"`
 }
 
 func main() {
@@ -108,7 +115,8 @@ func run(args []string) error {
 		pkg     string
 		pattern string
 	}{
-		{"repro", "BenchmarkE"},
+		{"repro", "BenchmarkE[0-9]"},
+		{"repro", "BenchmarkExplore"},
 		{"repro", "BenchmarkResilience"},
 		{"repro/internal/valence", "BenchmarkCertify"},
 		{"repro/internal/valence", "BenchmarkFieldSweep"},
@@ -167,6 +175,7 @@ func run(args []string) error {
 		report.Baseline = filepath.Base(*baseline)
 		report.GeomeanSpeedup, _ = geomeanSpeedup(base, &report)
 	}
+	report.ExploreShardedSpeedup, _ = exploreSpeedup(&report)
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -176,6 +185,9 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("bench: %d benchmarks -> %s\n", len(report.Benchmarks), *out)
+	if gm, n := exploreSpeedup(&report); n > 0 {
+		fmt.Printf("explore sharded/legacy geomean: %.2fx over %d paired rows\n", gm, n)
+	}
 	if base != nil {
 		printDelta(*baseline, base, &report)
 	}
@@ -222,6 +234,35 @@ func geomeanSpeedup(base, report *Report) (float64, int) {
 		return 0, 0
 	}
 	return math.Exp(logSum / float64(n)), n
+}
+
+// exploreSpeedup pairs each BenchmarkExplore ".../legacy/..." row with its
+// ".../sharded/..." twin in the same report and returns the geometric mean
+// of legacy/sharded ns/op over the pairs, with the pair count. Reports
+// without the grid yield (0, 0).
+func exploreSpeedup(report *Report) (float64, int) {
+	sharded := make(map[string]float64)
+	for _, r := range report.Benchmarks {
+		if strings.HasPrefix(r.Name, "BenchmarkExplore/") && strings.Contains(r.Name, "/sharded/") && r.NsPerOp > 0 {
+			sharded[r.Name] = r.NsPerOp
+		}
+	}
+	logSum, n := 0.0, 0
+	for _, r := range report.Benchmarks {
+		if !strings.HasPrefix(r.Name, "BenchmarkExplore/") || !strings.Contains(r.Name, "/legacy/") || r.NsPerOp <= 0 {
+			continue
+		}
+		s, ok := sharded[strings.Replace(r.Name, "/legacy/", "/sharded/", 1)]
+		if !ok {
+			continue
+		}
+		logSum += math.Log(r.NsPerOp / s)
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return math.Exp(logSum/float64(n)), n
 }
 
 // printDelta prints a side-by-side comparison of the fresh report against a

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // ParShard enforces worker-spawn hygiene at the engine's parallel fan-out
@@ -21,14 +22,26 @@ import (
 //     sync.WaitGroup: the send either deadlocks or the goroutine leaks
 //     past the barrier the merge step assumes.
 //
-// Both checks apply to every `go` statement with a function-literal body;
-// //lint:unsync suppresses a finding at a site with an external
-// synchronization argument.
+// A third rule guards the sharded successor cache's lock order: per-shard
+// locks never nest. A function that acquires the lock of one shard or
+// stripe (a mutex held by a value whose type name contains "shard" or
+// "stripe") while still holding another's is one hash collision away from
+// an ABBA deadlock — cross-shard work must release the first shard, or
+// route through a global mutex that is ordered after every shard lock.
+// The walk is linear and intraprocedural: a deferred Unlock counts as
+// held to the end of the function, and a function literal starts a fresh
+// context (it runs on its own goroutine or after the caller returns).
+//
+// The first two checks apply to every `go` statement with a
+// function-literal body, the third to every function; //lint:unsync
+// suppresses a finding at a site with external synchronization or a
+// deliberate global acquisition order.
 var ParShard = &Analyzer{
 	Name:     "parshard",
 	Suppress: "unsync",
 	Doc: "flag loop-variable captures and unsynchronized unbuffered-channel sends inside " +
-		"worker goroutines spawned at parallel fan-out sites",
+		"worker goroutines spawned at parallel fan-out sites, and nested acquisitions " +
+		"of per-shard locks",
 	Run: runParShard,
 }
 
@@ -40,6 +53,7 @@ func runParShard(pass *Pass) error {
 				continue
 			}
 			checkParShardFunc(pass, fd.Body)
+			checkShardLockNesting(pass, fd.Body)
 		}
 	}
 	return nil
@@ -187,6 +201,116 @@ func checkSpawnedWorker(pass *Pass, lit *ast.FuncLit, loopVars []types.Object, r
 		}
 		return true
 	})
+}
+
+// checkShardLockNesting walks one function body in source order tracking
+// which shard/stripe locks are held, and reports any acquisition of a
+// second, distinct shard lock while one is held. The tracking is
+// deliberately simple — held locks are canonicalized holder expressions,
+// branches are walked as if sequential — because the rule it enforces is
+// equally simple: no code path may ever hold two per-shard locks, so even
+// a lock that is only conditionally held must not bracket another
+// shard-lock acquisition.
+func checkShardLockNesting(pass *Pass, body *ast.BlockStmt) {
+	var held []string
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.DeferStmt:
+			// A deferred Unlock releases at return, not here; a deferred
+			// shard Lock would be its own bug but not this one. Either way
+			// the defer's effects never land mid-body.
+			return
+		case *ast.FuncLit:
+			// A function literal runs on its own goroutine (spawn sites) or
+			// after the enclosing frame is gone (callbacks); its lock
+			// context is fresh and its acquisitions do not nest with ours.
+			saved := held
+			held = nil
+			walkChildren(n, walk)
+			held = saved
+			return
+		case *ast.CallExpr:
+			holder, op, ok := shardLockOp(pass, n)
+			if !ok {
+				break
+			}
+			switch op {
+			case "Lock", "RLock":
+				for _, h := range held {
+					if h != holder {
+						pass.Reportf(n.Pos(),
+							"acquires shard lock %s.%s while holding %s's: per-shard locks must never nest (release the first shard, or order through a non-shard mutex)",
+							holder, op, h)
+					}
+				}
+				held = append(held, holder)
+			case "Unlock", "RUnlock":
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == holder {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		walkChildren(n, walk)
+	}
+	walk(body)
+}
+
+// shardLockOp matches a mutex operation (Lock/RLock/Unlock/RUnlock) whose
+// mutex belongs to a shard-like holder — a value whose named type contains
+// "shard" or "stripe" (case-insensitive), found by walking down the
+// receiver's selector chain (sh.mu.Lock(): the mutex expr sh.mu is not
+// shard-named, the next hop sh is). holder is the canonicalized source
+// text of the shard expression, the unit the nesting tracker keys on.
+func shardLockOp(pass *Pass, call *ast.CallExpr) (holder, op string, ok bool) {
+	fun, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	op = fun.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	for e := unparen(fun.X); e != nil; {
+		if isShardNamed(pass.TypeOf(e)) {
+			return types.ExprString(e), op, true
+		}
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = unparen(x.X)
+		case *ast.StarExpr:
+			e = unparen(x.X)
+		case *ast.UnaryExpr:
+			e = unparen(x.X)
+		default:
+			return "", "", false
+		}
+	}
+	return "", "", false
+}
+
+// isShardNamed reports whether t (possibly behind a pointer) is a named
+// type whose name contains "shard" or "stripe", case-insensitive.
+func isShardNamed(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := strings.ToLower(named.Obj().Name())
+	return strings.Contains(name, "shard") || strings.Contains(name, "stripe")
 }
 
 // isUnbufferedChan reports whether the expression is a channel created by a

@@ -1,0 +1,102 @@
+// Shard-lock-nesting fixtures for the parshard analyzer: acquiring one
+// shard's (or stripe's) lock while holding another's is flagged; purely
+// sequential per-shard locking, nesting with non-shard mutexes, and fresh
+// contexts inside function literals are allowed.
+package parshard
+
+import "sync"
+
+// workShard mimics the successor cache's intern shards: a mutex guarding
+// one slice of a sharded table.
+type workShard struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+// countStripe mimics the entry stripes: a second shard-like family.
+type countStripe struct {
+	mu sync.Mutex
+	n  int
+}
+
+// tableHolder is deliberately not shard-named: its mutex may bracket shard
+// locks (the growMu pattern — a global ordered after every shard lock).
+type tableHolder struct {
+	mu     sync.Mutex
+	shards []workShard
+}
+
+// BadNestedShardLocks acquires b's lock while holding a's: flagged.
+func BadNestedShardLocks(a, b *workShard, k string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "acquires shard lock b.Lock while holding a's"
+	defer b.mu.Unlock()
+	return a.vals[k] + b.vals[k]
+}
+
+// BadShardThenStripe nests across the two shard-like families: flagged.
+func BadShardThenStripe(sh *workShard, st *countStripe) {
+	sh.mu.Lock()
+	st.mu.Lock() // want "acquires shard lock st.Lock while holding sh's"
+	st.n++
+	st.mu.Unlock()
+	sh.mu.Unlock()
+}
+
+// BadIndexedNesting locks two shards of the same table at once: flagged.
+func BadIndexedNesting(t *tableHolder, i, j int) {
+	t.shards[i].mu.Lock()
+	t.shards[j].mu.Lock() // want `acquires shard lock t.shards\[j\].Lock while holding t.shards\[i\]'s`
+	t.shards[j].mu.Unlock()
+	t.shards[i].mu.Unlock()
+}
+
+// GoodSequentialShardLocks releases each shard before the next — the
+// Stats/Publish sweep pattern: allowed.
+func GoodSequentialShardLocks(t *tableHolder) int {
+	total := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		total += len(sh.vals)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// GoodShardThenGlobal nests a non-shard mutex inside a shard lock — the
+// internSlow/growMu order: allowed.
+func GoodShardThenGlobal(sh *workShard, t *tableHolder, k string) {
+	sh.mu.Lock()
+	t.mu.Lock()
+	t.shards = append(t.shards, workShard{})
+	t.mu.Unlock()
+	sh.vals[k]++
+	sh.mu.Unlock()
+}
+
+// GoodFuncLitFreshContext spawns a worker while holding a shard lock; the
+// literal's acquisitions run in their own context: allowed.
+func GoodFuncLitFreshContext(a, b *workShard, k string) {
+	a.mu.Lock()
+	done := make(chan int, 1)
+	go func(key string) {
+		b.mu.Lock()
+		v := b.vals[key]
+		b.mu.Unlock()
+		done <- v
+	}(k)
+	a.vals[k] = <-done
+	a.mu.Unlock()
+}
+
+// SuppressedNesting documents a deliberate ordered acquisition: the escape
+// hatch keeps it visible.
+func SuppressedNesting(a, b *workShard, k string) {
+	a.mu.Lock()
+	b.mu.Lock() //lint:unsync fixture: deliberate address-ordered double lock
+	b.vals[k] = a.vals[k]
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

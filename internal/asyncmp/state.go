@@ -70,6 +70,10 @@ func (s *State) N() int { return s.n }
 // Key implements core.State.
 func (s *State) Key() string { return s.key }
 
+// AppendKey implements core.KeyAppender: the key is precomputed at
+// construction, so the fast path is a copy of the cached bytes.
+func (s *State) AppendKey(dst []byte) []byte { return append(dst, s.key...) }
+
 // EnvKey implements core.State.
 func (s *State) EnvKey() string { return s.envKey }
 

@@ -33,9 +33,10 @@ import (
 // still impossible (the package tests certify the refutation).
 type Synchronic struct {
 	*core.SuccessorCache
-	p    proto.MPProtocol
-	n    int
-	name string
+	p     proto.MPProtocol
+	n     int
+	name  string
+	inits core.InitMemo
 }
 
 var _ core.Model = (*Synchronic)(nil)
@@ -56,15 +57,17 @@ func (m *Synchronic) N() int { return m.n }
 
 // Inits implements core.Model: Con_0 in binary counting order.
 func (m *Synchronic) Inits() []core.State {
-	out := make([]core.State, 0, 1<<uint(m.n))
-	for a := 0; a < 1<<uint(m.n); a++ {
-		inputs := make([]int, m.n)
-		for i := 0; i < m.n; i++ {
-			inputs[i] = (a >> uint(i)) & 1
+	return m.inits.Get(func() []core.State {
+		out := make([]core.State, 0, 1<<uint(m.n))
+		for a := 0; a < 1<<uint(m.n); a++ {
+			inputs := make([]int, m.n)
+			for i := 0; i < m.n; i++ {
+				inputs[i] = (a >> uint(i)) & 1
+			}
+			out = append(out, m.Initial(inputs))
 		}
-		out = append(out, m.Initial(inputs))
-	}
-	return out
+		return out
+	})
 }
 
 // Initial builds the initial state for an explicit input assignment.

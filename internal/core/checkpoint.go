@@ -153,9 +153,15 @@ func DecodeExploreCheckpoint(data []byte) (*ExploreCheckpoint, error) {
 // an uninterrupted run: the CSR prefix comes straight from the snapshot and
 // the continuation sees the identical frontier in the identical order.
 func ResumeExploreID(ctx *resilient.Ctx, m Model, ck *ExploreCheckpoint, workers int) (*IDGraph, error) {
+	return resumeExploreID(ctx, CacheOf(m), m, ck, workers)
+}
+
+// resumeExploreID is ResumeExploreID against an explicit successor cache;
+// ExploreIDCtxWith routes resumes here so an exploration started on a given
+// Interner continues on it.
+func resumeExploreID(ctx *resilient.Ctx, c Interner, m Model, ck *ExploreCheckpoint, workers int) (*IDGraph, error) {
 	rec := obs.Active()
 	defer obs.Span(rec, "explore.time")()
-	c := CacheOf(m)
 	n := len(ck.keys)
 	g := &IDGraph{
 		Depth:      ck.Depth,
@@ -200,11 +206,11 @@ func ResumeExploreID(ctx *resilient.Ctx, m Model, ck *ExploreCheckpoint, workers
 	mismatch := func(what string) error {
 		return fmt.Errorf("%w: checkpoint does not replay against model %s (%s)", resilient.ErrBadCheckpoint, m.Name(), what)
 	}
-	cacheToNode := make(map[uint32]uint32, n)
+	cacheToNode := newCIDTable(c.Len())
 	ii := 0
 	for _, x := range m.Inits() {
 		cid := c.ID(x)
-		if _, seen := cacheToNode[cid]; seen {
+		if _, seen := cacheToNode.get(cid); seen {
 			continue
 		}
 		if ii >= len(g.Inits) {
@@ -217,7 +223,7 @@ func ResumeExploreID(ctx *resilient.Ctx, m Model, ck *ExploreCheckpoint, workers
 		}
 		g.States[u] = x
 		g.cacheIDs[u] = cid
-		cacheToNode[cid] = u
+		cacheToNode.set(cid, u)
 	}
 	if ii != len(g.Inits) {
 		return nil, mismatch("missing initial state")
@@ -240,7 +246,7 @@ func ResumeExploreID(ctx *resilient.Ctx, m Model, ck *ExploreCheckpoint, workers
 		}
 		g.States[u] = succs[j].State
 		g.cacheIDs[u] = sids[j]
-		cacheToNode[sids[j]] = uint32(u)
+		cacheToNode.set(sids[j], uint32(u))
 	}
 	frontier := g.Layer(ck.NextDepth)
 	if rec != nil {

@@ -17,7 +17,9 @@ import (
 var ErrNodeBudget = resilient.Sentinel("core: exploration exceeded node budget")
 
 // ErrDepthExceeded is the old, misleading name for ErrNodeBudget (the
-// condition it reports is node-budget exhaustion, not a depth bound).
+// condition it reports is node-budget exhaustion, not a depth bound). It is
+// retained for external compatibility only; the repository itself has no
+// remaining references beyond the alias-identity pin in its tests.
 //
 // Deprecated: use ErrNodeBudget.
 var ErrDepthExceeded = ErrNodeBudget
@@ -104,11 +106,26 @@ func ExploreParallelCtx(ctx *resilient.Ctx, m Model, depth, maxNodes, workers in
 	return ig.Legacy(), err
 }
 
-// StatesAtDepth returns the states first reached at exactly depth d, sorted
-// by key for determinism. Buckets are computed once, on first call, and
-// cached: callers must not modify the returned slice, and must not mutate
-// DepthOf/Nodes after the first call.
+// StatesAtDepth returns the states first reached at exactly depth d, in a
+// deterministic order: BFS discovery order for graphs built by Explore
+// (served straight from the dense graph's contiguous LayerSpan window — no
+// bucket maps, no sorting, no copying), and sorted key order for hand-built
+// graphs. Callers must not modify the returned slice, and for hand-built
+// graphs must not mutate DepthOf/Nodes after the first call (buckets are
+// computed once and cached).
 func (g *Graph) StatesAtDepth(d int) []State {
+	if g.dense != nil {
+		if d < 0 || d >= g.dense.NumLayers() {
+			return nil
+		}
+		if lo, hi, ok := g.dense.LayerSpan(d); ok {
+			return g.dense.States[lo:hi]
+		}
+		// Some layer is not a contiguous id run — impossible for graphs
+		// built by Explore (the layout pass verifies the BFS numbering
+		// invariant), but a caller could assemble an IDGraph by hand; fall
+		// through to the sorted-bucket path.
+	}
 	g.depthOnce.Do(func() {
 		keysAt := make(map[int][]string)
 		for k, kd := range g.DepthOf {

@@ -36,9 +36,10 @@ type IDGraph struct {
 	EdgeAction []string
 	EdgeTo     []uint32
 	// Cache is the successor cache the exploration drew from (the model's
-	// shared cache when it has one); later passes over the same model reuse
-	// its enumeration work.
-	Cache *SuccessorCache
+	// shared sharded cache when it has one, or the explicit Interner handed
+	// to ExploreIDWith); later passes over the same model reuse its
+	// enumeration work.
+	Cache Interner
 
 	// ParentOf[u] is the node from which u was first discovered during the
 	// BFS (-1 for initial nodes); parentEdge[u] is the CSR index of that
@@ -58,7 +59,7 @@ type IDGraph struct {
 	byKeyOnce   sync.Once
 	byKey       map[string]uint32
 	byCacheOnce sync.Once
-	byCache     map[uint32]uint32
+	byCache     []uint32
 	gradedOnce  sync.Once
 	graded      bool
 
@@ -72,6 +73,47 @@ type IDGraph struct {
 
 // idSpan is a half-open node-id window [lo, hi).
 type idSpan struct{ lo, hi uint32 }
+
+// noNode is the "absent" sentinel of the dense cache-id -> node tables.
+const noNode = ^uint32(0)
+
+// cidTable maps dense cache ids to graph node ids without hashing: cache
+// ids are dense (0..cache.Len()-1), so a direct-indexed array indexed by
+// cache id replaces the per-edge hash-map lookup that used to dominate the
+// merge loop.
+type cidTable struct{ node []uint32 }
+
+func newCIDTable(hint int) *cidTable {
+	t := &cidTable{node: make([]uint32, hint)}
+	for i := range t.node {
+		t.node[i] = noNode
+	}
+	return t
+}
+
+func (t *cidTable) get(cid uint32) (uint32, bool) {
+	if int(cid) >= len(t.node) {
+		return 0, false
+	}
+	u := t.node[cid]
+	return u, u != noNode
+}
+
+func (t *cidTable) set(cid, u uint32) {
+	if int(cid) >= len(t.node) {
+		need := int(cid) + 1
+		if min := 2 * len(t.node); need < min {
+			need = min
+		}
+		grown := make([]uint32, need)
+		n := copy(grown, t.node)
+		for i := n; i < need; i++ {
+			grown[i] = noNode
+		}
+		t.node = grown
+	}
+	t.node[cid] = u
+}
 
 // Len returns the number of nodes.
 func (g *IDGraph) Len() int { return len(g.States) }
@@ -150,16 +192,31 @@ func (g *IDGraph) NodeByKey(key string) (uint32, bool) {
 
 // NodeOfCacheID returns the node whose state has the given id in Cache.
 // Analyses memoized on cache ids (the valence Oracle) use this to join
-// against a materialized graph without hashing state keys.
+// against a materialized graph without hashing state keys. Cache ids are
+// dense, so the lazily built index is a direct-indexed array: each join is
+// one bounds check and one load.
 func (g *IDGraph) NodeOfCacheID(cid uint32) (uint32, bool) {
 	g.byCacheOnce.Do(func() {
-		g.byCache = make(map[uint32]uint32, len(g.cacheIDs))
-		for u, c := range g.cacheIDs {
-			g.byCache[c] = uint32(u)
+		maxCID := uint32(0)
+		for _, c := range g.cacheIDs {
+			if c > maxCID {
+				maxCID = c
+			}
 		}
+		idx := make([]uint32, int(maxCID)+1)
+		for i := range idx {
+			idx[i] = noNode
+		}
+		for u, c := range g.cacheIDs {
+			idx[c] = uint32(u)
+		}
+		g.byCache = idx
 	})
-	u, ok := g.byCache[cid]
-	return u, ok
+	if int(cid) >= len(g.byCache) {
+		return 0, false
+	}
+	u := g.byCache[cid]
+	return u, u != noNode
 }
 
 // layout runs the CSR layout pass once: it checks that every depth layer is
@@ -256,6 +313,27 @@ func (g *IDGraph) Graded() bool {
 	return g.graded
 }
 
+// grow pre-sizes the per-node arrays for about n nodes and the edge arrays
+// for about edges edges. Exploration still appends — these are capacity
+// hints, not commitments — so a hint that is too small only costs the
+// regrowth it failed to avoid, and one that is too large costs slack
+// capacity.
+func (g *IDGraph) grow(n, edges int) {
+	g.States = make([]State, 0, n)
+	g.Keys = make([]string, 0, n)
+	g.DepthOf = make([]int32, 0, n)
+	g.ParentOf = make([]int32, 0, n)
+	g.parentEdge = make([]int32, 0, n)
+	g.cacheIDs = make([]uint32, 0, n)
+	start := make([]uint32, 1, n+1)
+	start[0] = 0
+	g.EdgeStart = start
+	if edges > 0 {
+		g.EdgeAction = make([]string, 0, edges)
+		g.EdgeTo = make([]uint32, 0, edges)
+	}
+}
+
 // addNode appends a node and returns its id.
 func (g *IDGraph) addNode(x State, key string, depth int, cacheID uint32) uint32 {
 	u := uint32(len(g.States))
@@ -314,6 +392,22 @@ func ExploreIDParallel(m Model, depth, maxNodes, workers int) (*IDGraph, error) 
 // layer boundary instead of starting fresh; the finished graph is
 // bit-identical to an uninterrupted run's.
 func ExploreIDCtx(ctx *resilient.Ctx, m Model, depth, maxNodes, workers int) (*IDGraph, error) {
+	return ExploreIDCtxWith(ctx, CacheOf(m), m, depth, maxNodes, workers)
+}
+
+// ExploreIDWith is ExploreIDParallel drawing from an explicit successor
+// cache instead of the model's embedded one. The equivalence property tests
+// and the cmd/bench sharded/legacy grid use it to run the same model
+// against different Interner implementations; regular callers should let
+// the model supply its shared cache.
+func ExploreIDWith(c Interner, m Model, depth, maxNodes, workers int) (*IDGraph, error) {
+	return ExploreIDCtxWith(nil, c, m, depth, maxNodes, workers)
+}
+
+// ExploreIDCtxWith is ExploreIDCtx drawing from an explicit successor
+// cache. A checkpoint resume carried by ctx continues against the same
+// cache.
+func ExploreIDCtxWith(ctx *resilient.Ctx, c Interner, m Model, depth, maxNodes, workers int) (*IDGraph, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -324,22 +418,28 @@ func ExploreIDCtx(ctx *resilient.Ctx, m Model, depth, maxNodes, workers int) (*I
 		}
 		if ck.Matches(m, depth, maxNodes) {
 			ctx.TakeResume(resilient.TagExplore)
-			return ResumeExploreID(ctx, m, ck, workers)
+			return resumeExploreID(ctx, c, m, ck, workers)
 		}
 	}
 	rec := obs.Active()
 	defer obs.Span(rec, "explore.time")()
-	c := CacheOf(m)
 	g := &IDGraph{Depth: depth, Cache: c, EdgeStart: []uint32{0}}
-	cacheToNode := make(map[uint32]uint32)
+	if hint := c.Len(); hint > 0 {
+		// A warm cache approximates the graph it will yield again — the
+		// interned states bound the node count, the recorded successor lists
+		// the edge count — so sizing the arrays up front removes the
+		// append-regrowth that otherwise dominates memoized re-exploration.
+		g.grow(hint, c.EdgeHint())
+	}
+	cacheToNode := newCIDTable(c.Len())
 	var frontier []uint32
 	for _, x := range m.Inits() {
 		cid := c.ID(x)
-		if _, seen := cacheToNode[cid]; seen {
+		if _, seen := cacheToNode.get(cid); seen {
 			continue
 		}
 		u := g.addNode(x, c.KeyOf(cid), 0, cid)
-		cacheToNode[cid] = u
+		cacheToNode.set(cid, u)
 		g.Inits = append(g.Inits, u)
 		frontier = append(frontier, u)
 	}
@@ -360,7 +460,7 @@ func ExploreIDCtx(ctx *resilient.Ctx, m Model, depth, maxNodes, workers int) (*I
 // the nodes first reached there, over a graph with every earlier layer
 // fully expanded. It is the shared tail of a fresh exploration and a
 // checkpoint resume.
-func continueExplore(ctx *resilient.Ctx, m Model, g *IDGraph, cacheToNode map[uint32]uint32, frontier []uint32, startDepth, maxNodes, workers int, rec obs.Recorder) (*IDGraph, error) {
+func continueExplore(ctx *resilient.Ctx, m Model, g *IDGraph, cacheToNode *cidTable, frontier []uint32, startDepth, maxNodes, workers int, rec obs.Recorder) (*IDGraph, error) {
 	c := g.Cache
 	for d := startDepth; d < g.Depth && len(frontier) > 0; d++ {
 		if err := stopPoint(ctx, "explore.layer"); err != nil {
@@ -377,7 +477,7 @@ func continueExplore(ctx *resilient.Ctx, m Model, g *IDGraph, cacheToNode map[ui
 			succs, sids := c.SuccessorsOf(g.cacheIDs[u], g.States[u])
 			for i := range succs {
 				cid := sids[i]
-				v, seen := cacheToNode[cid]
+				v, seen := cacheToNode.get(cid)
 				if !seen {
 					if maxNodes > 0 && len(g.States) >= maxNodes {
 						g.padEdgeStart()
@@ -387,7 +487,7 @@ func continueExplore(ctx *resilient.Ctx, m Model, g *IDGraph, cacheToNode map[ui
 					v = g.addNode(succs[i].State, c.KeyOf(cid), d+1, cid)
 					g.ParentOf[v] = int32(u)
 					g.parentEdge[v] = int32(len(g.EdgeTo))
-					cacheToNode[cid] = v
+					cacheToNode.set(cid, v)
 					next = append(next, v)
 				}
 				g.EdgeAction = append(g.EdgeAction, succs[i].Action)
@@ -438,6 +538,7 @@ func stopPoint(ctx *resilient.Ctx, point string) error {
 // holding a -checkpoint path can persist the cut and resume it later.
 func (g *IDGraph) interrupted(m Model, rec obs.Recorder, nextDepth, maxNodes int, cause error) (*IDGraph, error) {
 	g.padEdgeStart()
+	g.Cache.Publish()
 	if rec != nil {
 		rec.Add("explore.interrupts", 1)
 		rec.Event("explore.interrupted",
@@ -451,12 +552,15 @@ func (g *IDGraph) interrupted(m Model, rec obs.Recorder, nextDepth, maxNodes int
 	return g, resilient.WithCheckpoint(err, ck)
 }
 
-// finishExplore publishes the exploration's final counters — including the
-// shared successor cache's hit/fill/interned-bytes view — and emits the
-// closing journal event. budgetHit marks a partial graph returned with
-// ErrNodeBudget; the event then carries the depth actually reached so the
-// journal explains how far the search got.
+// finishExplore brings the cache's lock-free snapshots up to date (so the
+// passes that follow an exploration resolve every key without a shard
+// mutex), publishes the exploration's final counters — including the shared
+// successor cache's hit/fill/interned-bytes view and its per-shard
+// breakdown — and emits the closing journal event. budgetHit marks a
+// partial graph returned with ErrNodeBudget; the event then carries the
+// depth actually reached so the journal explains how far the search got.
 func (g *IDGraph) finishExplore(rec obs.Recorder, budgetHit bool) {
+	g.Cache.Publish()
 	if rec == nil {
 		return
 	}
@@ -465,6 +569,19 @@ func (g *IDGraph) finishExplore(rec obs.Recorder, budgetHit bool) {
 	rec.Set("cache.hits", st.Hits)
 	rec.Set("cache.enumerations", int64(st.Enumerations))
 	rec.Set("cache.interned_bytes", int64(st.InternedBytes))
+	if len(st.PerShard) > 0 {
+		states := make([]int64, len(st.PerShard))
+		hits := make([]int64, len(st.PerShard))
+		enums := make([]int64, len(st.PerShard))
+		for i, sc := range st.PerShard {
+			states[i], hits[i], enums[i] = int64(sc.States), sc.Hits, sc.Enumerations
+		}
+		rec.Event("cache.shards",
+			obs.F{Key: "shards", Value: st.Shards},
+			obs.F{Key: "states", Value: states},
+			obs.F{Key: "hits", Value: hits},
+			obs.F{Key: "enumerations", Value: enums})
+	}
 	name, fields := "explore.done", []obs.F{
 		{Key: "nodes", Value: g.Len()},
 		{Key: "edges", Value: g.NumEdges()},
@@ -485,7 +602,7 @@ func (g *IDGraph) finishExplore(rec obs.Recorder, budgetHit bool) {
 // untouched: the caller treats any error as an interruption at the top of
 // the layer, and a resumed run simply re-warms. The serial merge that
 // follows reads the warmed entries in frontier order.
-func warmFrontier(ctx *resilient.Ctx, c *SuccessorCache, g *IDGraph, frontier []uint32, workers int) error {
+func warmFrontier(ctx *resilient.Ctx, c Interner, g *IDGraph, frontier []uint32, workers int) error {
 	if workers > len(frontier) {
 		workers = len(frontier)
 	}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Interner is the intern/successor-memo contract the exploration engine
+// draws from: canonical-key interning to dense uint32 ids plus memoized
+// labeled successor enumeration. SuccessorCache (hash-sharded,
+// lock-striped) is the production implementation; LegacyCache preserves the
+// original single-lock table as the pinned reference that the equivalence
+// property tests and the cmd/bench sharded/legacy grid compare against.
+type Interner interface {
+	Successor
+	// ID interns x and returns its dense id without enumerating successors.
+	ID(x State) uint32
+	// SuccessorsID interns x and returns its id, labeled successors, and
+	// the successors' interned ids (aligned with succs).
+	SuccessorsID(x State) (id uint32, succs []Succ, ids []uint32)
+	// SuccessorsOf returns the successors of the already-interned state x
+	// with id id, enumerating and recording them on first use.
+	SuccessorsOf(id uint32, x State) (succs []Succ, ids []uint32)
+	// StateOf returns the state interned under id.
+	StateOf(id uint32) State
+	// KeyOf returns the canonical key interned under id.
+	KeyOf(id uint32) string
+	// Len returns the number of distinct states interned so far.
+	Len() int
+	// EdgeHint returns the total length of the recorded successor lists —
+	// the edge-array capacity hint for re-explorations over a warm cache.
+	EdgeHint() int
+	// Enumerations returns how many raw successor enumerations were paid.
+	Enumerations() int
+	// Stats returns the cache's current counters.
+	Stats() CacheStats
+	// Publish brings any lock-free read-path snapshots up to date with the
+	// authoritative tables; a single-table implementation makes it a no-op.
+	Publish()
+	// Uncached returns the raw successor function beneath the cache.
+	Uncached() Successor
+}
+
+var (
+	_ Interner = (*SuccessorCache)(nil)
+	_ Interner = (*LegacyCache)(nil)
+)
+
+// LegacyCache is the original single-RWMutex successor cache: one KeyIndex
+// and one entry slice behind one lock. It is retained verbatim (modulo the
+// hits counter moving to atomic.Int64) as the behavioral reference for the
+// sharded SuccessorCache — the equivalence property tests pin that both
+// produce bit-identical published graphs, and the BenchmarkExplore grid
+// measures the sharding against it. New code should use SuccessorCache.
+type LegacyCache struct {
+	fn Successor
+
+	mu        sync.RWMutex
+	idx       *KeyIndex
+	entries   []*legacyEntry
+	enums     int
+	succTotal int
+	// hits counts memoized successor lookups served without enumeration.
+	// It is atomic (not guarded by mu) so the read-locked fast path can
+	// count without upgrading to a write lock.
+	hits atomic.Int64
+}
+
+type legacyEntry struct {
+	state State
+	succs []Succ
+	ids   []uint32
+	done  bool
+}
+
+// NewLegacyCache returns an empty single-lock cache over the raw successor
+// function fn.
+func NewLegacyCache(fn Successor) *LegacyCache {
+	return &LegacyCache{fn: fn, idx: NewKeyIndex(0)}
+}
+
+// Uncached returns the raw successor function beneath the cache.
+func (c *LegacyCache) Uncached() Successor { return c.fn }
+
+// Publish is a no-op: the single table has no read-path snapshot.
+func (c *LegacyCache) Publish() {}
+
+// ID interns x and returns its dense id without enumerating successors.
+func (c *LegacyCache) ID(x State) uint32 {
+	key := x.Key()
+	c.mu.RLock()
+	id, ok := c.idx.ID(key)
+	c.mu.RUnlock()
+	if ok {
+		return id
+	}
+	c.mu.Lock()
+	id = c.intern(key, x)
+	c.mu.Unlock()
+	return id
+}
+
+// intern assigns (or finds) the id for key, recording x as its state. The
+// caller holds the write lock.
+func (c *LegacyCache) intern(key string, x State) uint32 {
+	id, fresh := c.idx.Intern(key)
+	if fresh {
+		c.entries = append(c.entries, &legacyEntry{state: x})
+	}
+	return id
+}
+
+// Successors implements Successor, memoized. The returned slice is shared;
+// callers must not modify it.
+func (c *LegacyCache) Successors(x State) []Succ {
+	_, succs, _ := c.SuccessorsID(x)
+	return succs
+}
+
+// SuccessorsID interns x and returns its id, its labeled successors, and
+// the successors' interned ids (aligned with succs).
+func (c *LegacyCache) SuccessorsID(x State) (id uint32, succs []Succ, ids []uint32) {
+	id = c.ID(x)
+	succs, ids = c.SuccessorsOf(id, x)
+	return id, succs, ids
+}
+
+// SuccessorsOf returns the successors of the already-interned state x with
+// id id, enumerating and recording them on first use.
+func (c *LegacyCache) SuccessorsOf(id uint32, x State) (succs []Succ, ids []uint32) {
+	c.mu.RLock()
+	e := c.entries[id]
+	done, succs, ids := e.done, e.succs, e.ids
+	c.mu.RUnlock()
+	if done {
+		c.hits.Add(1)
+		return succs, ids
+	}
+	// Enumerate outside the lock; a concurrent duplicate enumeration is
+	// harmless (the successor function is deterministic) and the first
+	// writer wins.
+	raw := c.fn.Successors(x)
+	rawIDs := make([]uint32, len(raw))
+	c.mu.Lock()
+	if e.done {
+		succs, ids = e.succs, e.ids
+		c.mu.Unlock()
+		return succs, ids
+	}
+	c.enums++
+	c.succTotal += len(raw)
+	for i, s := range raw {
+		rawIDs[i] = c.intern(s.State.Key(), s.State)
+	}
+	e.succs, e.ids, e.done = raw, rawIDs, true
+	c.mu.Unlock()
+	return raw, rawIDs
+}
+
+// StateOf returns the state interned under id.
+func (c *LegacyCache) StateOf(id uint32) State {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.entries[id].state
+}
+
+// KeyOf returns the canonical key interned under id.
+func (c *LegacyCache) KeyOf(id uint32) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.Key(id)
+}
+
+// Len returns the number of distinct states interned so far.
+func (c *LegacyCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.Len()
+}
+
+// EdgeHint returns the total length of the recorded successor lists.
+func (c *LegacyCache) EdgeHint() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.succTotal
+}
+
+// Enumerations returns how many raw successor enumerations the cache has
+// performed.
+func (c *LegacyCache) Enumerations() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.enums
+}
+
+// Stats returns the cache's current counters. Shards is 1 and PerShard nil:
+// the single table has no striping to break down.
+func (c *LegacyCache) Stats() CacheStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return CacheStats{
+		States:        c.idx.Len(),
+		Hits:          c.hits.Load(),
+		Enumerations:  c.enums,
+		InternedBytes: c.idx.Bytes(),
+		Shards:        1,
+	}
+}

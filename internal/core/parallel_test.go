@@ -174,9 +174,41 @@ func TestStatesAtDepthCached(t *testing.T) {
 	if &first[0] != &second[0] {
 		t.Error("StatesAtDepth rebuilt its bucket on the second call")
 	}
+	// Explore-built graphs serve the dense layer window in BFS discovery
+	// order: exactly the Layer(1) nodes, in that order, with no copying.
+	dense := g.Dense()
+	layer := dense.Layer(1)
+	if len(first) != len(layer) {
+		t.Fatalf("depth-1 bucket has %d states, dense layer %d nodes", len(first), len(layer))
+	}
+	for i, u := range layer {
+		if first[i] != dense.States[u] {
+			t.Fatalf("bucket[%d] is not dense layer node %d", i, u)
+		}
+	}
+	if g.StatesAtDepth(3) != nil || g.StatesAtDepth(-1) != nil {
+		t.Fatal("out-of-range depth should yield nil")
+	}
+}
+
+func TestStatesAtDepthHandBuilt(t *testing.T) {
+	// A hand-assembled Graph (no dense form) keeps the sorted-key path.
+	m := mobile.New(protocols.FloodSet{Rounds: 2}, 3)
+	g, err := core.Explore(m, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand := &core.Graph{Nodes: g.Nodes, Edges: g.Edges, DepthOf: g.DepthOf, InitKeys: g.InitKeys, Depth: g.Depth}
+	first := hand.StatesAtDepth(1)
+	if len(first) != len(g.StatesAtDepth(1)) {
+		t.Fatalf("hand-built bucket has %d states, dense %d", len(first), len(g.StatesAtDepth(1)))
+	}
 	for i := 1; i < len(first); i++ {
 		if first[i-1].Key() >= first[i].Key() {
-			t.Fatal("bucket not sorted by key")
+			t.Fatal("hand-built bucket not sorted by key")
 		}
+	}
+	if &first[0] != &hand.StatesAtDepth(1)[0] {
+		t.Error("hand-built bucket rebuilt on second call")
 	}
 }

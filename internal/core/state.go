@@ -1,8 +1,28 @@
 package core
 
+import "sync"
+
 // Undecided is the sentinel returned by decision accessors when a process's
 // write-once decision variable d_i is still ⊥.
 const Undecided = -1
+
+// InitMemo caches a model's initial-state slice across Inits calls. States
+// are immutable, so the cached values are shared; Get hands each caller a
+// fresh slice header over them, keeping the returned slice safe to append
+// to or reorder. Models embed one per value — building Con_0 constructs
+// 2^n states, which on a memoized re-exploration would otherwise cost more
+// than the exploration itself.
+type InitMemo struct {
+	once sync.Once
+	xs   []State
+}
+
+// Get returns the memoized initial states, invoking build exactly once per
+// memo (concurrent first callers block until the build finishes).
+func (m *InitMemo) Get(build func() []State) []State {
+	m.once.Do(func() { m.xs = build() })
+	return append([]State(nil), m.xs...)
+}
 
 // State is a global state of a distributed system: a local state for each of
 // the n processes plus a local state for the environment. The environment
@@ -45,6 +65,30 @@ type State interface {
 type Input interface {
 	// InputOf returns process i's initial value.
 	InputOf(i int) int
+}
+
+// KeyAppender is the allocation-free side of the canonical-key contract.
+// AppendKey appends exactly the bytes of Key() to dst and returns the
+// extended slice, so hot paths (the successor cache's intern lookups) can
+// build keys into reusable buffers instead of materializing a string per
+// visit. Implementations that precompute and store their key satisfy it by
+// appending the cached string; implementations that derive the key lazily
+// should encode directly into dst. All State implementations should provide
+// it — the engine falls back to Key() through AppendKeyOf otherwise, which
+// works but forfeits the zero-allocation path for lazily-keyed states.
+type KeyAppender interface {
+	AppendKey(dst []byte) []byte
+}
+
+// AppendKeyOf appends x's canonical key to dst: through AppendKey when x
+// provides it, through a Key() fallback shim otherwise. The result must be
+// byte-identical either way; the successor cache checks the two agree when
+// it first interns a state.
+func AppendKeyOf(x State, dst []byte) []byte {
+	if a, ok := x.(KeyAppender); ok {
+		return a.AppendKey(dst)
+	}
+	return append(dst, x.Key()...)
 }
 
 // AgreeModulo reports whether x and y agree modulo j: their environments are

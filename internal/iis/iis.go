@@ -73,6 +73,10 @@ func (s *State) N() int { return s.n }
 // Key implements core.State.
 func (s *State) Key() string { return s.key }
 
+// AppendKey implements core.KeyAppender: the key is precomputed at
+// construction, so the fast path is a copy of the cached bytes.
+func (s *State) AppendKey(dst []byte) []byte { return append(dst, s.key...) }
+
 // EnvKey implements core.State.
 func (s *State) EnvKey() string { return s.envKey }
 
@@ -107,6 +111,7 @@ type Model struct {
 	n          int
 	name       string
 	partitions [][][]int
+	inits      core.InitMemo
 }
 
 var _ core.Model = (*Model)(nil)
@@ -134,15 +139,17 @@ func (m *Model) N() int { return m.n }
 
 // Inits implements core.Model: Con_0 in binary counting order.
 func (m *Model) Inits() []core.State {
-	out := make([]core.State, 0, 1<<uint(m.n))
-	for a := 0; a < 1<<uint(m.n); a++ {
-		inputs := make([]int, m.n)
-		for i := 0; i < m.n; i++ {
-			inputs[i] = (a >> uint(i)) & 1
+	return m.inits.Get(func() []core.State {
+		out := make([]core.State, 0, 1<<uint(m.n))
+		for a := 0; a < 1<<uint(m.n); a++ {
+			inputs := make([]int, m.n)
+			for i := 0; i < m.n; i++ {
+				inputs[i] = (a >> uint(i)) & 1
+			}
+			out = append(out, m.Initial(inputs))
 		}
-		out = append(out, m.Initial(inputs))
-	}
-	return out
+		return out
+	})
 }
 
 // Initial builds the initial state for an explicit input assignment.

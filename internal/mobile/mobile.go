@@ -28,9 +28,10 @@ import (
 // analysis pass over the same model value.
 type Model struct {
 	*core.SuccessorCache
-	p    proto.SyncProtocol
-	n    int
-	name string
+	p     proto.SyncProtocol
+	n     int
+	name  string
+	inits core.InitMemo
 }
 
 var _ core.Model = (*Model)(nil)
@@ -53,15 +54,17 @@ func (m *Model) N() int { return m.n }
 
 // Inits implements core.Model: Con_0 in binary counting order.
 func (m *Model) Inits() []core.State {
-	out := make([]core.State, 0, 1<<uint(m.n))
-	for a := 0; a < 1<<uint(m.n); a++ {
-		inputs := make([]int, m.n)
-		for i := 0; i < m.n; i++ {
-			inputs[i] = (a >> uint(i)) & 1
+	return m.inits.Get(func() []core.State {
+		out := make([]core.State, 0, 1<<uint(m.n))
+		for a := 0; a < 1<<uint(m.n); a++ {
+			inputs := make([]int, m.n)
+			for i := 0; i < m.n; i++ {
+				inputs[i] = (a >> uint(i)) & 1
+			}
+			out = append(out, m.Initial(inputs))
 		}
-		out = append(out, m.Initial(inputs))
-	}
-	return out
+		return out
+	})
 }
 
 // Initial builds the initial state for an explicit input assignment.

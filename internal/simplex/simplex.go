@@ -107,6 +107,10 @@ func (s Simplex) ValueOf(id int) (int, bool) {
 // their Keys are equal.
 func (s Simplex) Key() string { return s.key }
 
+// AppendKey implements core.KeyAppender: the key is precomputed at
+// construction, so the fast path is a copy of the cached bytes.
+func (s Simplex) AppendKey(dst []byte) []byte { return append(dst, s.key...) }
+
 // String implements fmt.Stringer.
 func (s Simplex) String() string { return "{" + s.Key() + "}" }
 

@@ -20,6 +20,7 @@ type Model struct {
 	budget  bool // true for S^t: stop failing once t processes are failed
 	general bool // general omission: failed processes also stop receiving
 	name    string
+	inits   core.InitMemo
 }
 
 var _ core.Model = (*Model)(nil)
@@ -90,11 +91,13 @@ func (m *Model) T() int { return m.t }
 // assignment, enumerated in binary counting order (process 0 is the least
 // significant bit).
 func (m *Model) Inits() []core.State {
-	out := make([]core.State, 0, 1<<uint(m.n))
-	for a := 0; a < 1<<uint(m.n); a++ {
-		out = append(out, m.Initial(binaryInputs(m.n, a)))
-	}
-	return out
+	return m.inits.Get(func() []core.State {
+		out := make([]core.State, 0, 1<<uint(m.n))
+		for a := 0; a < 1<<uint(m.n); a++ {
+			out = append(out, m.Initial(binaryInputs(m.n, a)))
+		}
+		return out
+	})
 }
 
 // Initial builds the initial state for an explicit input assignment.

@@ -22,6 +22,7 @@ type MultiModel struct {
 	t           int
 	maxPerRound int
 	name        string
+	inits       core.InitMemo
 }
 
 var _ core.Model = (*MultiModel)(nil)
@@ -51,11 +52,13 @@ func (m *MultiModel) T() int { return m.t }
 
 // Inits implements core.Model.
 func (m *MultiModel) Inits() []core.State {
-	out := make([]core.State, 0, 1<<uint(m.n))
-	for a := 0; a < 1<<uint(m.n); a++ {
-		out = append(out, m.Initial(binaryInputs(m.n, a)))
-	}
-	return out
+	return m.inits.Get(func() []core.State {
+		out := make([]core.State, 0, 1<<uint(m.n))
+		for a := 0; a < 1<<uint(m.n); a++ {
+			out = append(out, m.Initial(binaryInputs(m.n, a)))
+		}
+		return out
+	})
 }
 
 // Initial builds the initial state for an explicit input assignment.
