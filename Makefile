@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race vet lint vettool chaos bench benchfield benchexplore profile clean
+.PHONY: all build test tier1 race vet lint vettool chaos bench benchfield benchexplore obsreport profile clean
 
 all: tier1
 
@@ -49,17 +49,19 @@ chaos:
 # parallel certification, shared successor caches, and the sharded
 # valence-field sweep, whose randomized property test is re-run explicitly
 # above; ./internal/... also covers internal/analysis and its fixture
-# tests), the chaos fault-injection suite, and a one-iteration smoke pass
-# of the field-kernel micro-benchmarks.
-tier1: build vet lint test race chaos benchfield benchexplore
+# tests), the chaos fault-injection suite, a one-iteration smoke pass
+# of the field-kernel micro-benchmarks, and the traced-run obsreport
+# round trip.
+tier1: build vet lint test race chaos benchfield benchexplore obsreport
 
-# bench regenerates BENCH_5.json from the E1–E11 experiment benchmarks,
+# bench regenerates BENCH_6.json from the E1–E11 experiment benchmarks,
 # the sharded/legacy exploration grid, the certifier and field-kernel
-# benchmarks, and the resilience overhead rows, and prints the per-row
-# delta (plus the geomean speedup line) against the committed PR 6
-# baseline BENCH_4.json.
+# benchmarks, the resilience overhead rows, the instrumented-phase
+# latency-percentile rows, and the observability overhead rows, and
+# prints the per-row delta (plus the geomean speedup line) against the
+# committed PR 7 baseline BENCH_5.json.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_5.json -baseline BENCH_4.json
+	$(GO) run ./cmd/bench -out BENCH_6.json -baseline BENCH_5.json
 
 # benchfield smoke-runs the valence field micro-benchmark grid (scalar vs
 # bit-plane, serial vs sharded, graded vs fixpoint, arena steady state) at
@@ -74,6 +76,14 @@ benchfield:
 # on states/edges; use `make bench` for real numbers.
 benchexplore:
 	$(GO) test . -run '^$$' -bench 'BenchmarkExplore' -benchtime 1x -benchmem
+
+# obsreport smoke-runs the journal analysis toolchain end to end: a traced
+# E1 run writes a span journal, which obsreport must parse into a phase
+# report and a Chrome trace. Any parse or export failure exits non-zero.
+obsreport:
+	$(GO) run ./cmd/experiments -only E1 -journal /tmp/obsreport_smoke.jsonl -trace >/dev/null
+	$(GO) run ./cmd/obsreport -chrome /tmp/obsreport_smoke_trace.json /tmp/obsreport_smoke.jsonl >/dev/null
+	@rm -f /tmp/obsreport_smoke.jsonl /tmp/obsreport_smoke_trace.json
 
 # profile reruns the benchmark suites with CPU/heap profiling enabled and
 # leaves the profiles, test binaries, and a BENCH json under profiles/.

@@ -16,6 +16,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/decision"
+	"repro/internal/obs"
 	"repro/internal/protocols"
 	"repro/internal/resilient"
 	"repro/internal/tasks"
@@ -635,4 +636,56 @@ func BenchmarkE11_CommonKnowledge(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(states)), "states")
+}
+
+// BenchmarkObsPhases — instrumented engine rows: the E1/E5-shaped explore
+// and certify bodies re-run with a live Metrics recorder, reporting the
+// per-iteration latency tail (p50/p99 straight from the engine's own
+// log-bucketed phase histograms) alongside ns/op. The uninstrumented
+// E-rows above stay the disabled-overhead baseline; these rows are where
+// BENCH_6.json carries the phase latency distributions.
+func BenchmarkObsPhases(b *testing.B) {
+	b.Run("explore/n=5", func(b *testing.B) {
+		m := layers.MobileS1(protocols.FloodSet{Rounds: 2}, 5)
+		met := obs.NewMetrics()
+		obs.Enable(met)
+		defer obs.Disable()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := layers.ExploreIDParallel(m, 2, 0, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if h := met.Timer("explore.time"); h != nil {
+			b.ReportMetric(float64(h.Quantile(0.50)), "p50_ns")
+			b.ReportMetric(float64(h.Quantile(0.99)), "p99_ns")
+		}
+	})
+	b.Run("certify/n=4/t=2", func(b *testing.B) {
+		p := protocols.FloodSet{Rounds: 3}
+		m := layers.SyncSt(p, 4, 2)
+		g, err := layers.ExploreIDParallel(m, 3, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		met := obs.NewMetrics()
+		obs.Enable(met)
+		defer obs.Disable()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w, err := layers.CertifyGraph(g, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if w.Kind != layers.OK {
+				b.Fatalf("FloodSet(t+1) refuted: %v", w.Kind)
+			}
+		}
+		b.StopTimer()
+		if h := met.Timer("certify.time"); h != nil {
+			b.ReportMetric(float64(h.Quantile(0.50)), "p50_ns")
+			b.ReportMetric(float64(h.Quantile(0.99)), "p99_ns")
+		}
+	})
 }

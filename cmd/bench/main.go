@@ -118,8 +118,10 @@ func run(args []string) error {
 		{"repro", "BenchmarkE[0-9]"},
 		{"repro", "BenchmarkExplore"},
 		{"repro", "BenchmarkResilience"},
+		{"repro", "BenchmarkObsPhases"},
 		{"repro/internal/valence", "BenchmarkCertify"},
 		{"repro/internal/valence", "BenchmarkFieldSweep"},
+		{"repro/internal/obs", "BenchmarkObs"},
 	}
 	report := Report{
 		GoVersion:  runtime.Version(),

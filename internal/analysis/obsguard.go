@@ -30,12 +30,20 @@ import (
 // recorder-call dominator for rule 2: it runs at most once per frame no
 // matter how many loops enclose it, so recording a panic there is a cold
 // path, not per-node instrumentation. Rule 1 still applies inside it.
+//
+// The span tracer (*obs.Tracer) follows the same contract: Trace returns
+// nil when tracing is off, so every Tracer method call needs the rule-1
+// nil dominance, and beginning a span (Begin/BeginLane) is subject to the
+// rule-2 nesting ban — a span per node floods the journal exactly like a
+// per-node counter. Ending a span is exempt from rule 2: End of the zero
+// span is a no-op, so early-exit paths deep in loops may End
+// unconditionally.
 var ObsGuard = &Analyzer{
 	Name:     "obsguard",
 	Suppress: "obs",
-	Doc: "flag obs.Recorder calls not dominated by a nil check, and recorder calls nested " +
-		"two or more loops deep (per-node instrumentation must batch per layer); " +
-		"recover blocks are exempt from the nesting rule",
+	Doc: "flag obs.Recorder and obs.Tracer calls not dominated by a nil check, and recorder " +
+		"calls or span starts nested two or more loops deep (per-node instrumentation " +
+		"must batch per layer); recover blocks are exempt from the nesting rule",
 	Run: runObsGuard,
 }
 
@@ -223,25 +231,34 @@ func (w *obsWalker) checkCall(call *ast.CallExpr) {
 		break
 	}
 	t := w.pass.TypeOf(recv)
-	if !isRecorderInterface(t) {
+	isRec := isRecorderInterface(t)
+	isTr := !isRec && isTracerPointer(t)
+	if !isRec && !isTr {
 		return
 	}
-	if w.loopDepth >= 2 {
+	kind, nilSource := "obs.Recorder", "Active"
+	if isTr {
+		kind, nilSource = "obs.Tracer", "Trace"
+	}
+	// Rule 2: every Recorder method is per-node work in a nested loop; for
+	// the tracer only beginning a span is — End of a never-begun span is
+	// the sanctioned no-op on deep early-exit paths.
+	if w.loopDepth >= 2 && (isRec || sel.Sel.Name == "Begin" || sel.Sel.Name == "BeginLane") {
 		w.pass.Reportf(call.Pos(),
-			"obs.Recorder.%s inside a nested loop: per-node instrumentation; accumulate locally and publish once per layer (//lint:obs to override)",
-			sel.Sel.Name)
+			"%s.%s inside a nested loop: per-node instrumentation; accumulate locally and publish once per layer (//lint:obs to override)",
+			kind, sel.Sel.Name)
 	}
 	id, ok := recv.(*ast.Ident)
 	if !ok {
 		w.pass.Reportf(call.Pos(),
-			"obs.Recorder.%s on an unnamed receiver: bind the recorder to a variable and nil-check it so the disabled path costs one branch",
-			sel.Sel.Name)
+			"%s.%s on an unnamed receiver: bind it to a variable and nil-check it so the disabled path costs one branch",
+			kind, sel.Sel.Name)
 		return
 	}
 	if obj := w.pass.ObjectOf(id); obj == nil || !w.guarded[obj] {
 		w.pass.Reportf(call.Pos(),
-			"obs.Recorder.%s not dominated by a nil check: guard with `if %s != nil` (Active returns nil when instrumentation is off)",
-			sel.Sel.Name, id.Name)
+			"%s.%s not dominated by a nil check: guard with `if %s != nil` (%s returns nil when instrumentation is off)",
+			kind, sel.Sel.Name, id.Name, nilSource)
 	}
 }
 
@@ -281,7 +298,7 @@ func (w *obsWalker) nilCompareObjects(cond ast.Expr, op, chainOp token.Token) []
 			return nil
 		}
 		obj := w.pass.ObjectOf(id)
-		if obj == nil || !isRecorderInterface(obj.Type()) {
+		if obj == nil || (!isRecorderInterface(obj.Type()) && !isTracerPointer(obj.Type())) {
 			return nil
 		}
 		return []types.Object{obj}
@@ -366,6 +383,25 @@ func isRecorderInterface(t types.Type) bool {
 	}
 	obj := named.Obj()
 	if obj.Name() != "Recorder" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}
+
+// isTracerPointer reports whether t is *Tracer of an obs package (matched
+// by path suffix, like isRecorderInterface, so fixtures can fake it).
+func isTracerPointer(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Tracer" || obj.Pkg() == nil {
 		return false
 	}
 	path := obj.Pkg().Path()

@@ -12,3 +12,27 @@ type Recorder interface {
 
 // Active returns the process recorder, nil when instrumentation is off.
 func Active() Recorder { return nil }
+
+// SpanID and TraceSpan mirror the real span types' shape.
+type SpanID uint64
+
+// TraceSpan is the value Begin returns and End consumes.
+type TraceSpan struct {
+	ID, Parent SpanID
+}
+
+// Tracer matches the real obs.Tracer method set closely enough for the
+// fixtures.
+type Tracer struct{}
+
+// Begin starts a lane-0 span.
+func (t *Tracer) Begin(name string, parent SpanID) TraceSpan { return TraceSpan{} }
+
+// BeginLane starts a span on a worker lane.
+func (t *Tracer) BeginLane(name string, parent SpanID, lane int) TraceSpan { return TraceSpan{} }
+
+// End completes a span; ending the zero span is a no-op.
+func (t *Tracer) End(s TraceSpan) {}
+
+// Trace returns the process tracer, nil when span tracing is off.
+func Trace() *Tracer { return nil }

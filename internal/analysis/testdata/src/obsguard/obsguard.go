@@ -149,3 +149,82 @@ func BadLoopInsideRecover(rec obs.Recorder, shards [][]func()) {
 		}
 	}()
 }
+
+// BadTracerUnguarded begins a span with no nil check: Trace returns nil
+// when tracing is off, so this is flagged like an unguarded recorder.
+func BadTracerUnguarded(tr *obs.Tracer) {
+	tr.End(tr.Begin("phase", 0)) // want "obs.Tracer.End not dominated" "obs.Tracer.Begin not dominated"
+}
+
+// GoodTracerInit uses the if-init nil-test idiom on the tracer: allowed.
+func GoodTracerInit() {
+	if tr := obs.Trace(); tr != nil {
+		defer tr.End(tr.Begin("phase", 0))
+	}
+}
+
+// GoodTracerPerLayer begins one span per layer (one loop deep): allowed.
+func GoodTracerPerLayer(tr *obs.Tracer, layers []string) {
+	if tr == nil {
+		return
+	}
+	for range layers {
+		sp := tr.Begin("layer", 0)
+		tr.End(sp)
+	}
+}
+
+// BadTracerPerNode begins a span inside a nested loop: a span per node
+// floods the journal, flagged even though nil-guarded.
+func BadTracerPerNode(tr *obs.Tracer, layers [][]string) {
+	if tr == nil {
+		return
+	}
+	for _, layer := range layers {
+		for range layer {
+			sp := tr.Begin("node", 0) // want "obs.Tracer.Begin inside a nested loop"
+			tr.End(sp)
+		}
+	}
+}
+
+// GoodTracerDeepEnd ends a layer span from an early-exit path two loops
+// deep: End of a never-begun span is a no-op, so the nesting ban covers
+// only span starts.
+func GoodTracerDeepEnd(tr *obs.Tracer, layers [][]string) {
+	if tr == nil {
+		return
+	}
+	for _, layer := range layers {
+		sp := tr.Begin("layer", 0)
+		for _, node := range layer {
+			if node == "stop" {
+				tr.End(sp)
+				return
+			}
+		}
+		tr.End(sp)
+	}
+}
+
+// GoodTracerGuardedClosure inherits the tracer guard at the closure's
+// creation site, the worker-lane span idiom of the pool shards.
+func GoodTracerGuardedClosure(tr *obs.Tracer, work func()) {
+	if tr != nil {
+		defer func() { tr.End(tr.BeginLane("shard", 0, 1)) }()
+	}
+	work()
+}
+
+// BadTracerLaneLoop starts a lane span per node: BeginLane is banned at
+// depth two just like Begin.
+func BadTracerLaneLoop(tr *obs.Tracer, layers [][]string) {
+	if tr == nil {
+		return
+	}
+	for _, layer := range layers {
+		for i := range layer {
+			tr.End(tr.BeginLane("node", 0, i)) // want "obs.Tracer.BeginLane inside a nested loop"
+		}
+	}
+}

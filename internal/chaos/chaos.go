@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/resilient"
 )
 
@@ -216,6 +217,13 @@ func (p *Plan) inject(point string) error {
 	p.mu.Lock()
 	p.fired = append(p.fired, f)
 	p.mu.Unlock()
+	if rec := obs.Active(); rec != nil {
+		rec.Add("chaos.fired", 1)
+		rec.Event("chaos.fired",
+			obs.F{Key: "point", Value: point},
+			obs.F{Key: "kind", Value: r.Kind.String()},
+			obs.F{Key: "hit", Value: hit})
+	}
 	switch r.Kind {
 	case KindPanic:
 		panic(f)

@@ -25,6 +25,12 @@ type ObsFlags struct {
 	// Progress, when positive, prints a brief counter snapshot to stderr at
 	// that interval while the run is live.
 	Progress time.Duration
+	// Trace enables hierarchical span tracing; spans land in the journal as
+	// span.begin/span.end events, so it requires -journal.
+	Trace bool
+	// RuntimeSample, when positive, samples runtime/metrics (goroutines,
+	// heap, GC) at that interval, emitting runtime.sample journal events.
+	RuntimeSample time.Duration
 }
 
 // RegisterObs registers the shared -stats/-journal/-pprof/-progress flags
@@ -35,6 +41,8 @@ func RegisterObs(fs *flag.FlagSet) *ObsFlags {
 	fs.StringVar(&f.Journal, "journal", "", "write a JSONL run-event journal to `file`")
 	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof and /debug/vars on `addr` (e.g. :6060)")
 	fs.DurationVar(&f.Progress, "progress", 0, "print a counter snapshot to stderr every `interval`")
+	fs.BoolVar(&f.Trace, "trace", false, "journal hierarchical phase spans (requires -journal; analyze with cmd/obsreport)")
+	fs.DurationVar(&f.RuntimeSample, "runtime-sample", 0, "journal a runtime.sample (goroutines, heap, GC) every `interval`")
 	return f
 }
 
@@ -43,7 +51,8 @@ var expvarOnce sync.Once
 
 // Enabled reports whether any observability surface was requested.
 func (f *ObsFlags) Enabled() bool {
-	return f.Stats || f.Journal != "" || f.Pprof != "" || f.Progress > 0
+	return f.Stats || f.Journal != "" || f.Pprof != "" || f.Progress > 0 ||
+		f.Trace || f.RuntimeSample > 0
 }
 
 // Start activates the requested observability surfaces: it installs a
@@ -57,15 +66,20 @@ func (f *ObsFlags) Start() (stop func(), err error) {
 	if !f.Enabled() {
 		return func() {}, nil
 	}
+	if f.Trace && f.Journal == "" {
+		return nil, fmt.Errorf("obs: -trace requires -journal (spans are journal events)")
+	}
 	m := obs.NewMetrics()
 
 	var journalFile *os.File
+	var journal *obs.Journal
 	if f.Journal != "" {
 		journalFile, err = os.Create(f.Journal)
 		if err != nil {
 			return nil, fmt.Errorf("obs: create journal: %w", err)
 		}
-		m.SetJournal(obs.NewJournal(journalFile))
+		journal = obs.NewJournal(journalFile)
+		m.SetJournal(journal)
 	}
 
 	if f.Pprof != "" {
@@ -97,8 +111,26 @@ func (f *ObsFlags) Start() (stop func(), err error) {
 		}()
 	}
 
+	if f.Trace {
+		obs.EnableTrace(obs.NewTracer(m, journal))
+	}
+	var samplerStop func()
+	if f.RuntimeSample > 0 {
+		samplerStop = obs.StartRuntimeSampler(m, f.RuntimeSample)
+	}
+
 	obs.Enable(m)
 	return func() {
+		if samplerStop != nil {
+			samplerStop()
+		}
+		if journal != nil {
+			// Final full counter/histogram snapshot: obsreport reads the
+			// last snapshot, so samples recorded after the last engine
+			// event must not be lost.
+			m.Event("run.done")
+		}
+		obs.DisableTrace()
 		obs.Disable()
 		if tickerDone != nil {
 			close(tickerDone)

@@ -162,6 +162,12 @@ func ResumeExploreID(ctx *resilient.Ctx, m Model, ck *ExploreCheckpoint, workers
 func resumeExploreID(ctx *resilient.Ctx, c Interner, m Model, ck *ExploreCheckpoint, workers int) (*IDGraph, error) {
 	rec := obs.Active()
 	defer obs.Span(rec, "explore.time")()
+	tr := obs.Trace()
+	var root obs.TraceSpan
+	if tr != nil {
+		root = tr.Begin("explore", 0)
+		defer tr.End(root)
+	}
 	n := len(ck.keys)
 	g := &IDGraph{
 		Depth:      ck.Depth,
@@ -258,5 +264,5 @@ func resumeExploreID(ctx *resilient.Ctx, c Interner, m Model, ck *ExploreCheckpo
 			obs.F{Key: "frontier", Value: len(frontier)},
 			obs.F{Key: "workers", Value: workers})
 	}
-	return continueExplore(ctx, m, g, cacheToNode, frontier, ck.NextDepth, ck.MaxNodes, workers, rec)
+	return continueExplore(ctx, m, g, cacheToNode, frontier, ck.NextDepth, ck.MaxNodes, workers, rec, root.ID)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/obs"
@@ -423,6 +424,12 @@ func ExploreIDCtxWith(ctx *resilient.Ctx, c Interner, m Model, depth, maxNodes, 
 	}
 	rec := obs.Active()
 	defer obs.Span(rec, "explore.time")()
+	tr := obs.Trace()
+	var root obs.TraceSpan
+	if tr != nil {
+		root = tr.Begin("explore", 0)
+		defer tr.End(root)
+	}
 	g := &IDGraph{Depth: depth, Cache: c, EdgeStart: []uint32{0}}
 	if hint := c.Len(); hint > 0 {
 		// A warm cache approximates the graph it will yield again — the
@@ -453,21 +460,34 @@ func ExploreIDCtxWith(ctx *resilient.Ctx, c Interner, m Model, depth, maxNodes, 
 			obs.F{Key: "workers", Value: workers},
 			obs.F{Key: "inits", Value: len(frontier)})
 	}
-	return continueExplore(ctx, m, g, cacheToNode, frontier, 0, maxNodes, workers, rec)
+	return continueExplore(ctx, m, g, cacheToNode, frontier, 0, maxNodes, workers, rec, root.ID)
 }
 
 // continueExplore runs the layer loop from startDepth, whose frontier is
 // the nodes first reached there, over a graph with every earlier layer
 // fully expanded. It is the shared tail of a fresh exploration and a
-// checkpoint resume.
-func continueExplore(ctx *resilient.Ctx, m Model, g *IDGraph, cacheToNode *cidTable, frontier []uint32, startDepth, maxNodes, workers int, rec obs.Recorder) (*IDGraph, error) {
+// checkpoint resume. parent is the enclosing explore span (0 when tracing
+// is off); each layer becomes one explore.layer child span.
+func continueExplore(ctx *resilient.Ctx, m Model, g *IDGraph, cacheToNode *cidTable, frontier []uint32, startDepth, maxNodes, workers int, rec obs.Recorder, parent obs.SpanID) (*IDGraph, error) {
 	c := g.Cache
+	tr := obs.Trace()
+	var lt0 time.Time
 	for d := startDepth; d < g.Depth && len(frontier) > 0; d++ {
 		if err := stopPoint(ctx, "explore.layer"); err != nil {
 			return g.interrupted(m, rec, d, maxNodes, err)
 		}
+		var lsp obs.TraceSpan
+		if tr != nil {
+			lsp = tr.Begin("explore.layer", parent)
+		}
+		if rec != nil {
+			lt0 = time.Now() //lint:nondet feeds layer-timing instrumentation only
+		}
 		if workers > 1 {
-			if err := warmFrontier(ctx, c, g, frontier, workers); err != nil {
+			if err := warmFrontier(ctx, c, g, frontier, workers, lsp.ID); err != nil {
+				if tr != nil {
+					tr.End(lsp)
+				}
 				return g.interrupted(m, rec, d, maxNodes, err)
 			}
 		}
@@ -481,6 +501,9 @@ func continueExplore(ctx *resilient.Ctx, m Model, g *IDGraph, cacheToNode *cidTa
 				if !seen {
 					if maxNodes > 0 && len(g.States) >= maxNodes {
 						g.padEdgeStart()
+						if tr != nil {
+							tr.End(lsp)
+						}
 						g.finishExplore(rec, true)
 						return g, fmt.Errorf("at depth %d (%d nodes): %w", g.ReachedDepth(), len(g.States), ErrNodeBudget)
 					}
@@ -495,10 +518,15 @@ func continueExplore(ctx *resilient.Ctx, m Model, g *IDGraph, cacheToNode *cidTa
 			}
 			g.EdgeStart = append(g.EdgeStart, uint32(len(g.EdgeTo)))
 		}
+		if tr != nil {
+			tr.End(lsp)
+		}
 		if rec != nil {
 			rec.Add("explore.nodes", int64(len(next)))
 			rec.Add("explore.edges", int64(len(g.EdgeTo)-edgesBefore))
 			rec.Set("explore.frontier", int64(len(next)))
+			rec.Observe("explore.layer.time", time.Since(lt0))
+			rec.Record("explore.layer.width", int64(len(frontier)))
 			headroom := int64(-1)
 			if maxNodes > 0 {
 				headroom = int64(maxNodes - len(g.States))
@@ -602,7 +630,7 @@ func (g *IDGraph) finishExplore(rec obs.Recorder, budgetHit bool) {
 // untouched: the caller treats any error as an interruption at the top of
 // the layer, and a resumed run simply re-warms. The serial merge that
 // follows reads the warmed entries in frontier order.
-func warmFrontier(ctx *resilient.Ctx, c Interner, g *IDGraph, frontier []uint32, workers int) error {
+func warmFrontier(ctx *resilient.Ctx, c Interner, g *IDGraph, frontier []uint32, workers int, parent obs.SpanID) error {
 	if workers > len(frontier) {
 		workers = len(frontier)
 	}
@@ -615,6 +643,9 @@ func warmFrontier(ctx *resilient.Ctx, c Interner, g *IDGraph, frontier []uint32,
 	return pool.Run(ctx, shards, func(sctx *resilient.Ctx, shard int) error {
 		if err := stopPoint(sctx, "explore.warm"); err != nil {
 			return err
+		}
+		if tr := obs.Trace(); tr != nil {
+			defer tr.End(tr.BeginLane("explore.warm.shard", parent, shard+1))
 		}
 		lo := shard * shardLen
 		hi := lo + shardLen

@@ -6,6 +6,9 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Shard geometry. The shard count is a power of two so a key hash selects a
@@ -284,17 +287,49 @@ func (sh *internShard) publishLocked() {
 // resolve every interned key without touching a shard mutex. Shards with
 // nothing pending are skipped without locking, so re-running a pass over a
 // fully published cache costs one atomic load per shard.
+//
+// With instrumentation on, a publish that actually snapshots at least one
+// shard is wrapped in a cache.publish span and each snapshotted shard's
+// rebuild latency lands in the cache.publish.shard.time histogram — the
+// per-shard view that shows a hot shard (skewed key hash) stalling the
+// pass boundary.
 func (c *SuccessorCache) Publish() {
+	rec := obs.Active()
+	tr := obs.Trace()
+	var sp obs.TraceSpan
+	published := 0
+	var t0 time.Time
 	for i := range c.shards {
 		sh := &c.shards[i]
 		if sh.pend.Load() == 0 {
 			continue
 		}
+		if rec != nil {
+			t0 = time.Now() //lint:nondet feeds shard-publish latency instrumentation only
+		}
 		sh.mu.Lock()
+		snapped := false
 		if len(sh.dirty) > sh.published {
+			if tr != nil && sp.ID == 0 {
+				sp = tr.Begin("cache.publish", 0)
+			}
 			sh.publishLocked()
+			snapped = true
 		}
 		sh.mu.Unlock()
+		if snapped {
+			published++
+			if rec != nil {
+				rec.Observe("cache.publish.shard.time", time.Since(t0))
+			}
+		}
+	}
+	if tr != nil {
+		tr.End(sp)
+	}
+	if rec != nil && published > 0 {
+		rec.Add("cache.publishes", 1)
+		rec.Record("cache.publish.shards", int64(published))
 	}
 }
 

@@ -58,6 +58,9 @@ type TaskWitness struct {
 func CertifyTask(m core.Model, inits []core.State, delta simplex.DeltaFunc, bound, maxVisits int) (*TaskWitness, error) {
 	rec := obs.Active()
 	defer obs.Span(rec, "certify.task.time")()
+	if tr := obs.Trace(); tr != nil {
+		defer tr.End(tr.Begin("certify.task", 0))
+	}
 	c := &taskCertifier{
 		m:         m,
 		delta:     delta,

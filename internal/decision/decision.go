@@ -283,6 +283,9 @@ func FieldValences(g *core.IDGraph, cover Covering) []uint8 {
 func FieldValencesCtx(ctx *resilient.Ctx, g *core.IDGraph, cover Covering) ([]uint8, error) {
 	rec := obs.Active()
 	defer obs.Span(rec, "decision.field.time")()
+	if tr := obs.Trace(); tr != nil {
+		defer tr.End(tr.Begin("decision.field", 0))
+	}
 	if rec != nil {
 		rec.Add("decision.field.sweeps", 1)
 		rec.Add("decision.field.nodes", int64(g.Len()))

@@ -70,6 +70,9 @@ const classesCheckEvery = 1024
 func NewClassesCtx(ctx *resilient.Ctx, states []core.State) (*Classes, error) {
 	rec := obs.Active()
 	defer obs.Span(rec, "knowledge.classes.time")()
+	if tr := obs.Trace(); tr != nil {
+		defer tr.End(tr.Begin("knowledge.classes", 0))
+	}
 	c := &Classes{
 		states: states,
 		uf:     graph.NewUnionFind(len(states)),

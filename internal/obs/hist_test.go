@@ -1,0 +1,208 @@
+package obs_test
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestHistogramExactBelowLinearRange(t *testing.T) {
+	var h obs.Histogram
+	for v := int64(0); v < 32; v++ {
+		h.Record(v)
+	}
+	// Every sample below 2^5 is its own bucket: bounds collapse to the value.
+	var seen int64
+	h.Buckets(func(lo, hi, count int64) {
+		if lo != hi {
+			t.Errorf("bucket [%d,%d] below linear range is not exact", lo, hi)
+		}
+		if count != 1 {
+			t.Errorf("bucket %d count = %d, want 1", lo, count)
+		}
+		seen += count
+	})
+	if seen != 32 {
+		t.Errorf("bucket counts sum to %d, want 32", seen)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("p0 = %d, want 0", got)
+	}
+	if got := h.Quantile(1); got != 31 {
+		t.Errorf("p100 = %d, want 31", got)
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	// One sample per histogram across the full range: the quantile must
+	// reconstruct the value within one sub-bucket (1/32 ~ 3.2%), and the
+	// bucket bounds must bracket it.
+	for _, v := range []int64{
+		32, 33, 63, 64, 100, 1000, 4095, 4096, 1 << 20, 1<<40 + 12345, math.MaxInt64,
+	} {
+		var h obs.Histogram
+		h.Record(v)
+		got := h.Quantile(0.5)
+		if got != v && math.Abs(float64(got-v))/float64(v) > 1.0/32 {
+			t.Errorf("Quantile after Record(%d) = %d: relative error > 1/32", v, got)
+		}
+		bracketed := false
+		h.Buckets(func(lo, hi, count int64) {
+			if lo <= v && v <= hi {
+				bracketed = true
+			}
+		})
+		if !bracketed {
+			t.Errorf("no bucket brackets %d", v)
+		}
+		if h.Max() != v || h.Sum() != v || h.Count() != 1 {
+			t.Errorf("Record(%d): count/sum/max = %d/%d/%d", v, h.Count(), h.Sum(), h.Max())
+		}
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	var h obs.Histogram
+	h.Record(-5)
+	if h.Count() != 1 || h.Sum() != 0 || h.Max() != 0 {
+		t.Errorf("negative sample: count/sum/max = %d/%d/%d, want 1/0/0", h.Count(), h.Sum(), h.Max())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("p50 of clamped sample = %d, want 0", got)
+	}
+}
+
+func TestHistogramQuantilesKnownDistribution(t *testing.T) {
+	var h obs.Histogram
+	// 100 samples 1..100: values this small are near-exact (error one
+	// sub-bucket above 32).
+	for v := int64(1); v <= 100; v++ {
+		h.Record(v)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.50, 50}, {0.90, 90}, {0.99, 99}, {1.0, 100}} {
+		got := h.Quantile(tc.q)
+		if math.Abs(float64(got-tc.want))/float64(tc.want) > 1.0/16 {
+			t.Errorf("p%v = %d, want ~%d", tc.q*100, got, tc.want)
+		}
+	}
+	if h.Quantile(0.5) > h.Quantile(0.9) || h.Quantile(0.9) > h.Quantile(0.99) {
+		t.Error("quantiles are not monotone in q")
+	}
+}
+
+// TestHistogramConcurrentHammer drives one histogram from GOMAXPROCS
+// goroutines under the race detector: the final count and sum must be
+// exact, the per-bucket counts must sum to the total, and a concurrent
+// reader must observe the count growing monotonically.
+func TestHistogramConcurrentHammer(t *testing.T) {
+	var h obs.Histogram
+	workers := runtime.GOMAXPROCS(0)
+	const per = 20000
+	var stop atomic.Bool
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		var last int64
+		for !stop.Load() {
+			c := h.Count()
+			if c < last {
+				t.Errorf("Count went backwards: %d after %d", c, last)
+				return
+			}
+			last = c
+			// Quantile and Buckets must be safe to call mid-hammer; a
+			// bucket scan started after a Count read can only see MORE
+			// samples (buckets only grow), never fewer.
+			h.Quantile(0.99)
+			var bucketSum int64
+			h.Buckets(func(lo, hi, count int64) { bucketSum += count })
+			if bucketSum < c {
+				t.Errorf("bucket sum %d fell below previously observed count %d", bucketSum, c)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var wantSum int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var localSum int64
+			for i := 0; i < per; i++ {
+				v := int64(w*per + i)
+				h.Record(v)
+				localSum += v
+			}
+			atomic.AddInt64(&wantSum, localSum)
+		}(w)
+	}
+	wg.Wait()
+	stop.Store(true)
+	<-readerDone
+
+	want := int64(workers * per)
+	if got := h.Count(); got != want {
+		t.Fatalf("Count = %d, want %d (exactly)", got, want)
+	}
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("Sum = %d, want %d (exactly)", got, wantSum)
+	}
+	var bucketSum int64
+	lastHi := int64(-1)
+	h.Buckets(func(lo, hi, count int64) {
+		if lo <= lastHi {
+			t.Fatalf("buckets out of order: [%d,%d] after hi=%d", lo, hi, lastHi)
+		}
+		lastHi = hi
+		bucketSum += count
+	})
+	if bucketSum != want {
+		t.Fatalf("bucket counts sum to %d, want %d", bucketSum, want)
+	}
+	if got, wantMax := h.Max(), int64(workers*per-1); got != wantMax {
+		t.Fatalf("Max = %d, want %d", got, wantMax)
+	}
+}
+
+func TestMetricsTimerAndSampleHistograms(t *testing.T) {
+	m := obs.NewMetrics()
+	for i := 1; i <= 100; i++ {
+		m.Observe("sweep", time.Duration(i)*time.Microsecond)
+		m.Record("width", int64(i))
+	}
+	if h := m.Timer("sweep"); h == nil || h.Count() != 100 {
+		t.Fatal("Timer histogram missing or wrong count")
+	}
+	if h := m.Sample("width"); h == nil || h.Count() != 100 {
+		t.Fatal("Sample histogram missing or wrong count")
+	}
+	if m.Timer("nope") != nil || m.Sample("nope") != nil {
+		t.Error("unknown names must return nil")
+	}
+	snap := m.Snapshot()
+	for _, key := range []string{
+		"sweep.count", "sweep.total_ns", "sweep.max_ns", "sweep.p50_ns", "sweep.p90_ns", "sweep.p99_ns",
+		"width.count", "width.max", "width.p50", "width.p90", "width.p99",
+	} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("snapshot missing %q", key)
+		}
+	}
+	p50 := snap["sweep.p50_ns"]
+	if p50 < 40_000 || p50 > 60_000 {
+		t.Errorf("sweep.p50_ns = %d, want ~50µs", p50)
+	}
+	if snap["width.p99"] < 95 || snap["width.p99"] > 100 {
+		t.Errorf("width.p99 = %d, want ~99", snap["width.p99"])
+	}
+}

@@ -21,12 +21,13 @@ import (
 // the signal-interrupt path, where the tail holds exactly the events that
 // explain the interruption.
 type Journal struct {
-	mu     sync.Mutex
-	w      *bufio.Writer
-	start  time.Time
-	seq    int64
-	err    error
-	closed bool
+	mu      sync.Mutex
+	w       *bufio.Writer
+	start   time.Time
+	seq     int64
+	dropped int64
+	err     error
+	closed  bool
 }
 
 // eventJSON is the serialized form of one journal line.
@@ -48,11 +49,14 @@ func NewJournal(w io.Writer) *Journal {
 // Emit buffers one event line. Errors (marshal failures, or write errors
 // surfaced by a buffer spill or Sync) are sticky: the first one is
 // retained (see Err) and later emissions become no-ops, so instrumented
-// code never has to handle journal failures inline.
+// code never has to handle journal failures inline. Every event lost that
+// way — the one that hit the error and every one after it — is counted
+// (see Dropped), so a truncated journal is detectable, not silent.
 func (j *Journal) Emit(name string, fields []F, counters map[string]int64) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.err != nil || j.closed {
+		j.dropped++
 		return
 	}
 	ev := eventJSON{
@@ -70,11 +74,13 @@ func (j *Journal) Emit(name string, fields []F, counters map[string]int64) {
 	data, err := json.Marshal(ev)
 	if err != nil {
 		j.err = err
+		j.dropped++
 		return
 	}
 	data = append(data, '\n')
 	if _, err := j.w.Write(data); err != nil {
 		j.err = err
+		j.dropped++
 		return
 	}
 	j.seq++
@@ -106,6 +112,14 @@ func (j *Journal) flushLocked() error {
 		j.err = err
 	}
 	return j.err
+}
+
+// Dropped returns the number of events lost to the sticky error or to
+// emission after Close — zero on a healthy journal.
+func (j *Journal) Dropped() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
 }
 
 // Err returns the first write, flush, or marshal error, if any.

@@ -93,6 +93,33 @@ func TestJournalStickyError(t *testing.T) {
 	if j.Len() != 2 {
 		t.Errorf("Len() = %d, want 2", j.Len())
 	}
+	if got := j.Dropped(); got != 1 {
+		t.Errorf("Dropped() = %d, want 1 (the post-error emit)", got)
+	}
+	j.Emit("d", nil, nil)
+	if got := j.Dropped(); got != 2 {
+		t.Errorf("Dropped() = %d, want 2", got)
+	}
+}
+
+// TestSnapshotReportsDroppedEvents: a journal that lost events after a
+// write error surfaces the loss as journal.dropped in the recorder
+// snapshot, so -stats and the journal's own later snapshots reveal the
+// truncation.
+func TestSnapshotReportsDroppedEvents(t *testing.T) {
+	m := obs.NewMetrics()
+	var buf bytes.Buffer
+	j := obs.NewJournal(&buf)
+	m.SetJournal(j)
+	if _, ok := m.Snapshot()["journal.dropped"]; ok {
+		t.Fatal("healthy journal must not report journal.dropped")
+	}
+	j.Close()
+	m.Event("lost") // dropped: emitted after Close
+	snap := m.Snapshot()
+	if snap["journal.dropped"] != 1 {
+		t.Errorf("journal.dropped = %d, want 1", snap["journal.dropped"])
+	}
 }
 
 func TestJournalCloseFlushesAndDrops(t *testing.T) {

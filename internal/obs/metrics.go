@@ -11,7 +11,8 @@ import (
 )
 
 // Metrics is the standard Recorder: lock-free named atomic counters and
-// gauges, timers with count/total/max, and an optional journal sink for
+// gauges, log-bucketed latency histograms behind the timers, unitless
+// value histograms behind Record, and an optional journal sink for
 // events. The zero value is not usable; use NewMetrics.
 //
 // Metrics implements expvar.Var (String returns the JSON snapshot), so a
@@ -20,17 +21,11 @@ import (
 type Metrics struct {
 	counters sync.Map // string -> *int64
 	gauges   sync.Map // string -> *int64
-	timers   sync.Map // string -> *timerStat
+	timers   sync.Map // string -> *Histogram (ns samples)
+	samples  sync.Map // string -> *Histogram (unitless samples)
 
 	mu      sync.Mutex
 	journal *Journal
-}
-
-// timerStat accumulates duration samples; all fields are atomics.
-type timerStat struct {
-	count   int64
-	totalNs int64
-	maxNs   int64
 }
 
 // NewMetrics returns an empty recorder.
@@ -89,24 +84,43 @@ func (m *Metrics) Set(gauge string, v int64) {
 	atomic.StoreInt64(cell(&m.gauges, gauge), v)
 }
 
-// Observe implements Recorder.
+// hist returns the *Histogram registered under name in tab, creating it
+// on first use.
+func hist(tab *sync.Map, name string) *Histogram {
+	if p, ok := tab.Load(name); ok {
+		return p.(*Histogram)
+	}
+	p, _ := tab.LoadOrStore(name, &Histogram{})
+	return p.(*Histogram)
+}
+
+// Observe implements Recorder: one duration sample into the timer's
+// log-bucketed nanosecond histogram.
 func (m *Metrics) Observe(timer string, d time.Duration) {
-	var ts *timerStat
-	if p, ok := m.timers.Load(timer); ok {
-		ts = p.(*timerStat)
-	} else {
-		p, _ := m.timers.LoadOrStore(timer, &timerStat{})
-		ts = p.(*timerStat)
+	hist(&m.timers, timer).Record(d.Nanoseconds())
+}
+
+// Record implements Recorder: one unitless sample into a value histogram.
+func (m *Metrics) Record(sample string, v int64) {
+	hist(&m.samples, sample).Record(v)
+}
+
+// Timer returns the latency histogram behind a timer name, or nil when the
+// timer was never observed.
+func (m *Metrics) Timer(name string) *Histogram {
+	if p, ok := m.timers.Load(name); ok {
+		return p.(*Histogram)
 	}
-	ns := d.Nanoseconds()
-	atomic.AddInt64(&ts.count, 1)
-	atomic.AddInt64(&ts.totalNs, ns)
-	for {
-		cur := atomic.LoadInt64(&ts.maxNs)
-		if ns <= cur || atomic.CompareAndSwapInt64(&ts.maxNs, cur, ns) {
-			break
-		}
+	return nil
+}
+
+// Sample returns the value histogram behind a Record name, or nil when the
+// name was never recorded.
+func (m *Metrics) Sample(name string) *Histogram {
+	if p, ok := m.samples.Load(name); ok {
+		return p.(*Histogram)
 	}
+	return nil
 }
 
 // Event implements Recorder: when a journal is attached the event is
@@ -138,8 +152,13 @@ func (m *Metrics) Gauge(name string) int64 {
 	return 0
 }
 
-// Snapshot returns every counter and gauge by name. Timers contribute
-// three derived entries: <name>.count, <name>.total_ns, and <name>.max_ns.
+// Snapshot returns every counter and gauge by name. Timers contribute six
+// derived entries — <name>.count, <name>.total_ns, <name>.max_ns, and the
+// histogram quantiles <name>.p50_ns/.p90_ns/.p99_ns — and value
+// histograms contribute <name>.count/.max/.p50/.p90/.p99, so the journal's
+// per-event counter snapshots carry full latency distributions. When the
+// attached journal has dropped events after a write error, the snapshot
+// also reports journal.dropped.
 func (m *Metrics) Snapshot() map[string]int64 {
 	out := make(map[string]int64)
 	m.counters.Range(func(k, v any) bool {
@@ -151,13 +170,34 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		return true
 	})
 	m.timers.Range(func(k, v any) bool {
-		ts := v.(*timerStat)
+		h := v.(*Histogram)
 		name := k.(string)
-		out[name+".count"] = atomic.LoadInt64(&ts.count)
-		out[name+".total_ns"] = atomic.LoadInt64(&ts.totalNs)
-		out[name+".max_ns"] = atomic.LoadInt64(&ts.maxNs)
+		out[name+".count"] = h.Count()
+		out[name+".total_ns"] = h.Sum()
+		out[name+".max_ns"] = h.Max()
+		out[name+".p50_ns"] = h.Quantile(0.50)
+		out[name+".p90_ns"] = h.Quantile(0.90)
+		out[name+".p99_ns"] = h.Quantile(0.99)
 		return true
 	})
+	m.samples.Range(func(k, v any) bool {
+		h := v.(*Histogram)
+		name := k.(string)
+		out[name+".count"] = h.Count()
+		out[name+".max"] = h.Max()
+		out[name+".p50"] = h.Quantile(0.50)
+		out[name+".p90"] = h.Quantile(0.90)
+		out[name+".p99"] = h.Quantile(0.99)
+		return true
+	})
+	m.mu.Lock()
+	j := m.journal
+	m.mu.Unlock()
+	if j != nil {
+		if d := j.Dropped(); d > 0 {
+			out["journal.dropped"] = d
+		}
+	}
 	return out
 }
 

@@ -31,8 +31,12 @@ type Recorder interface {
 	Add(counter string, delta int64)
 	// Set stores a named gauge value.
 	Set(gauge string, v int64)
-	// Observe accumulates one duration sample into a named timer.
+	// Observe accumulates one duration sample into a named timer's
+	// latency histogram.
 	Observe(timer string, d time.Duration)
+	// Record accumulates one unitless sample (a width, a ratio, an
+	// imbalance percentage) into a named value histogram.
+	Record(sample string, v int64)
 	// Event emits a structured run-event (journaled when a journal is
 	// attached, dropped otherwise). Events are rare — per run phase, not
 	// per state — so they may snapshot counters.

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// runtimeSamples are the runtime/metrics series the sampler reads. The
+// selection is deliberately small: the questions the journal answers are
+// "was the run GC-bound", "how big did the heap get", and "did goroutines
+// leak", not a full runtime dump.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+}
+
+// StartRuntimeSampler launches a goroutine that, every interval, reads the
+// Go runtime's metrics (goroutine count, heap bytes, GC cycles, cumulative
+// GC pause) into m's gauges and emits one runtime.sample journal event.
+// The returned stop function ends the sampler after emitting one final
+// sample, so the journal's tail reflects the run's end state.
+func StartRuntimeSampler(m *Metrics, interval time.Duration) (stop func()) {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	sampleOnce := func() {
+		metrics.Read(samples)
+		for _, s := range samples {
+			switch s.Name {
+			case "/sched/goroutines:goroutines":
+				m.Set("runtime.goroutines", int64(s.Value.Uint64()))
+			case "/memory/classes/heap/objects:bytes":
+				m.Set("runtime.heap_bytes", int64(s.Value.Uint64()))
+			case "/memory/classes/total:bytes":
+				m.Set("runtime.total_bytes", int64(s.Value.Uint64()))
+			case "/gc/cycles/total:gc-cycles":
+				m.Set("runtime.gc_cycles", int64(s.Value.Uint64()))
+			case "/gc/pauses:seconds":
+				m.Set("runtime.gc_pause_total_ns", pauseTotalNs(s.Value.Float64Histogram()))
+			}
+		}
+		m.Event("runtime.sample")
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				sampleOnce()
+				return
+			case <-t.C:
+				sampleOnce()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// pauseTotalNs estimates the cumulative GC pause from the runtime's pause
+// histogram: each bucket's count times its midpoint. The estimate's error
+// is bounded by the runtime's own bucket resolution.
+func pauseTotalNs(h *metrics.Float64Histogram) int64 {
+	if h == nil {
+		return 0
+	}
+	var total float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		// The outermost buckets are unbounded; fall back to the finite
+		// edge.
+		mid := (lo + hi) / 2
+		switch {
+		case math.IsInf(lo, -1):
+			mid = hi
+		case math.IsInf(hi, 1):
+			mid = lo
+		}
+		total += float64(c) * mid
+	}
+	return int64(total * 1e9)
+}

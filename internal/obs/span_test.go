@@ -1,0 +1,153 @@
+package obs_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func decodeJournal(t *testing.T, buf *bytes.Buffer) []journalLine {
+	t.Helper()
+	var lines []journalLine
+	sc := bufio.NewScanner(buf)
+	for sc.Scan() {
+		var l journalLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("unparseable journal line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	return lines
+}
+
+func TestTraceDefaultsToNil(t *testing.T) {
+	obs.DisableTrace()
+	if obs.Trace() != nil {
+		t.Fatal("Trace() != nil with tracing disabled")
+	}
+}
+
+func TestEnableDisableTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracer(nil, obs.NewJournal(&buf))
+	obs.EnableTrace(tr)
+	defer obs.DisableTrace()
+	if obs.Trace() != tr {
+		t.Fatal("Trace() did not return the enabled tracer")
+	}
+	obs.DisableTrace()
+	if obs.Trace() != nil {
+		t.Fatal("Trace() != nil after DisableTrace")
+	}
+}
+
+func TestTracerSpanEvents(t *testing.T) {
+	var buf bytes.Buffer
+	m := obs.NewMetrics()
+	j := obs.NewJournal(&buf)
+	tr := obs.NewTracer(m, j)
+
+	root := tr.Begin("explore", 0)
+	child := tr.BeginLane("explore.warm.shard", root.ID, 3)
+	tr.End(child)
+	tr.End(root)
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := decodeJournal(t, &buf)
+	if len(lines) != 4 {
+		t.Fatalf("got %d journal lines, want 4 (2 begin + 2 end)", len(lines))
+	}
+	wantEvents := []string{"span.begin", "span.begin", "span.end", "span.end"}
+	for i, w := range wantEvents {
+		if lines[i].Event != w {
+			t.Errorf("line %d event = %q, want %q", i, lines[i].Event, w)
+		}
+		if lines[i].Counters != nil {
+			t.Errorf("span event %d carries a counter snapshot; spans must be cheap", i)
+		}
+	}
+
+	rootBegin, childBegin, childEnd, rootEnd := lines[0], lines[1], lines[2], lines[3]
+	rootID := rootBegin.Fields["span"].(float64)
+	if rootID <= 0 {
+		t.Fatalf("root span id = %v, want > 0", rootID)
+	}
+	if got := rootBegin.Fields["parent"].(float64); got != 0 {
+		t.Errorf("root parent = %v, want 0", got)
+	}
+	if got := rootBegin.Fields["name"]; got != "explore" {
+		t.Errorf("root name = %v", got)
+	}
+	if got := childBegin.Fields["parent"].(float64); got != rootID {
+		t.Errorf("child parent = %v, want root id %v", got, rootID)
+	}
+	if got := childBegin.Fields["lane"].(float64); got != 3 {
+		t.Errorf("child lane = %v, want 3", got)
+	}
+	if childBegin.Fields["span"].(float64) == rootID {
+		t.Error("span ids must be unique")
+	}
+	if got := childEnd.Fields["span"]; got != childBegin.Fields["span"] {
+		t.Errorf("child end id %v != begin id %v", got, childBegin.Fields["span"])
+	}
+	if rootEnd.Fields["dur_ns"].(float64) < 0 {
+		t.Error("negative span duration")
+	}
+
+	// End feeds the span.<name> latency histogram.
+	snap := m.Snapshot()
+	if snap["span.explore.count"] != 1 || snap["span.explore.warm.shard.count"] != 1 {
+		t.Errorf("span histograms not fed: %v", snap)
+	}
+}
+
+func TestTracerEndOfZeroSpanIsNoOp(t *testing.T) {
+	var buf bytes.Buffer
+	j := obs.NewJournal(&buf)
+	tr := obs.NewTracer(nil, j)
+	tr.End(obs.TraceSpan{}) // a path that never began its span
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("End of the zero span emitted %d bytes", buf.Len())
+	}
+}
+
+func TestTracerConcurrentIDsUnique(t *testing.T) {
+	var buf bytes.Buffer
+	j := obs.NewJournal(&buf)
+	tr := obs.NewTracer(nil, j)
+	const workers, per = 8, 200
+	ids := make(chan obs.SpanID, workers*per)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(lane int) {
+			for i := 0; i < per; i++ {
+				s := tr.BeginLane("shard", 0, lane)
+				ids <- s.ID
+				tr.End(s)
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	close(ids)
+	seen := make(map[obs.SpanID]bool)
+	for id := range ids {
+		if id == 0 {
+			t.Fatal("allocated span id 0 (reserved for the root)")
+		}
+		if seen[id] {
+			t.Fatalf("span id %d allocated twice", id)
+		}
+		seen[id] = true
+	}
+}

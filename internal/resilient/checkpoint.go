@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/obs"
 )
 
 // Checkpoint file format: a 4-byte magic, one version byte, then a sequence
@@ -95,12 +97,21 @@ func ReadSections(r io.Reader) ([]Section, error) {
 
 // LoadFile reads and parses the checkpoint file at path.
 func LoadFile(path string) ([]Section, error) {
+	rec := obs.Active()
+	defer obs.Span(rec, "checkpoint.load.time")()
+	if tr := obs.Trace(); tr != nil {
+		defer tr.End(tr.Begin("checkpoint.load", 0))
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadSections(f)
+	sections, err := ReadSections(f)
+	if rec != nil && err == nil {
+		rec.Add("checkpoint.loads", 1)
+	}
+	return sections, err
 }
 
 // Checkpointer is implemented by the snapshot types an interrupted engine
@@ -151,6 +162,11 @@ func SaveCheckpoint(path string, err error) (bool, error) {
 	if !ok {
 		return false, nil
 	}
+	rec := obs.Active()
+	defer obs.Span(rec, "checkpoint.save.time")()
+	if tr := obs.Trace(); tr != nil {
+		defer tr.End(tr.Begin("checkpoint.save", 0))
+	}
 	sections, serr := ck.Sections()
 	if serr != nil {
 		return false, serr
@@ -162,6 +178,14 @@ func SaveCheckpoint(path string, err error) (bool, error) {
 	if werr := WriteSections(f, sections); werr != nil {
 		f.Close()
 		return false, werr
+	}
+	if rec != nil {
+		var bytes int64
+		for _, s := range sections {
+			bytes += int64(len(s.Data))
+		}
+		rec.Add("checkpoint.saves", 1)
+		rec.Record("checkpoint.save.bytes", bytes)
 	}
 	return true, f.Close()
 }

@@ -65,6 +65,12 @@ func (c *graphCertifier) certify(ctx *resilient.Ctx, g *core.IDGraph, maxVisits 
 		return nil, ErrNotGraded
 	}
 	rec := obs.Active()
+	tr := obs.Trace()
+	var root obs.TraceSpan
+	if tr != nil {
+		root = tr.Begin("certify", 0)
+		defer tr.End(root)
+	}
 	if rec != nil {
 		defer obs.Span(rec, "certify.time")()
 		rec.Event("certify.start",
@@ -114,6 +120,10 @@ func (c *graphCertifier) certify(ctx *resilient.Ctx, g *core.IDGraph, maxVisits 
 			w   *Witness
 			err error
 		)
+		var rsp obs.TraceSpan
+		if tr != nil {
+			rsp = tr.Begin("certify.root", root.ID)
+		}
 		if ri == startRoot && midRoot {
 			// Continue the interrupted root exactly where the stack left it:
 			// its root node and bitset are re-derived, not re-entered.
@@ -123,6 +133,9 @@ func (c *graphCertifier) certify(ctx *resilient.Ctx, g *core.IDGraph, maxVisits 
 			w, err = c.loop()
 		} else {
 			w, err = c.run(g.Inits[ri])
+		}
+		if tr != nil {
+			tr.End(rsp)
 		}
 		if err != nil {
 			return nil, err

@@ -132,6 +132,12 @@ func (f *Field) compute(ctx *resilient.Ctx, g *core.IDGraph, workers int, ar *ar
 	}
 	rec := obs.Active()
 	defer obs.Span(rec, "field.time")()
+	tr := obs.Trace()
+	var root obs.TraceSpan
+	if tr != nil {
+		root = tr.Begin("field", 0)
+		defer tr.End(root)
+	}
 	words := (g.Len() + 63) / 64
 	if rec != nil {
 		rec.Add("field.sweeps", 1)
@@ -168,17 +174,28 @@ func (f *Field) compute(ctx *resilient.Ctx, g *core.IDGraph, workers int, ar *ar
 			if err := chaos.Check(ctx, "field.layer"); err != nil {
 				return f.interrupted(rec, d, err)
 			}
+			var lsp obs.TraceSpan
+			if tr != nil {
+				lsp = tr.Begin("field.layer", root.ID)
+			}
 			var t0 time.Time
 			if rec != nil {
 				t0 = time.Now() //lint:nondet feeds layer-timing instrumentation only
 			}
-			width, imbalance, err := f.sweepLayer(ctx, d, workers, auto, rec != nil)
+			width, imbalance, err := f.sweepLayer(ctx, d, workers, auto, rec != nil, lsp.ID)
+			if tr != nil {
+				tr.End(lsp)
+			}
 			if err != nil {
 				return f.interrupted(rec, d, err)
 			}
 			if rec != nil {
 				elapsed := time.Since(t0)
 				rec.Observe("field.layer.time", elapsed)
+				rec.Record("field.layer.width", int64(width))
+				if imbalance > 0 {
+					rec.Record("field.worker.imbalance_pct", imbalance)
+				}
 				rec.Event("field.layer",
 					obs.F{Key: "depth", Value: d},
 					obs.F{Key: "width", Value: width},
@@ -260,7 +277,7 @@ func (f *Field) interrupted(rec obs.Recorder, nextLayer int, cause error) error 
 // and returns the worker-imbalance ratio, max shard time over mean shard
 // time, in percent (100 = perfectly balanced; 0 when the layer ran
 // serially or unmeasured).
-func (f *Field) sweepLayer(ctx *resilient.Ctx, d, workers int, auto, measure bool) (width int, imbalancePct int64, err error) {
+func (f *Field) sweepLayer(ctx *resilient.Ctx, d, workers int, auto, measure bool, parent obs.SpanID) (width int, imbalancePct int64, err error) {
 	g := f.g
 	lo, hi, contiguous := g.LayerSpan(d)
 	if !contiguous {
@@ -298,6 +315,9 @@ func (f *Field) sweepLayer(ctx *resilient.Ctx, d, workers int, auto, measure boo
 	err = pool.Run(ctx, nShards, func(sctx *resilient.Ctx, w int) error {
 		if cerr := chaos.Check(sctx, "field.shard"); cerr != nil {
 			return cerr
+		}
+		if str := obs.Trace(); str != nil {
+			defer str.End(str.BeginLane("field.shard", parent, w+1))
 		}
 		a := uint32((w0 + w*per) << 6)
 		b := uint32((w0 + (w+1)*per) << 6)

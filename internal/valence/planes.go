@@ -32,6 +32,9 @@ func fieldPlanesOf(g *core.IDGraph) *fieldPlanes {
 	return g.Aux(fieldPlanesKey{}, func() any {
 		rec := obs.Active()
 		defer obs.Span(rec, "field.planes.time")()
+		if tr := obs.Trace(); tr != nil {
+			defer tr.End(tr.Begin("field.planes", 0))
+		}
 		words := (g.Len() + 63) / 64
 		fp := &fieldPlanes{d0: make([]uint64, words), d1: make([]uint64, words)}
 		for u, x := range g.States {
@@ -92,6 +95,9 @@ func certPlanesOf(g *core.IDGraph) *certPlanes {
 	return g.Aux(certPlanesKey{}, func() any {
 		rec := obs.Active()
 		defer obs.Span(rec, "certify.planes.time")()
+		if tr := obs.Trace(); tr != nil {
+			defer tr.End(tr.Begin("certify.planes", 0))
+		}
 		words := (g.Len() + 63) / 64
 		cp := &certPlanes{
 			dvals:      make([]uint64, g.Len()),
