@@ -11,15 +11,22 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the engine-invariant analyzer suite (internal/analysis) over
-# the whole module: detorder, internfreeze, obsguard, senterr, parshard.
+# the whole module: detorder, internfreeze, obsguard, senterr, parshard,
+# plus the cross-function dataflow analyzers ctxpoll, spanend, hotalloc,
+# codecpair, atomicfield.
 # Exit status 1 means findings; suppress a deliberate exception with a
 # //lint:<token> comment on the flagged line or the line above (the token
-# is per-analyzer: nondet, mutates, obs, sentinel, unsync).
+# is per-analyzer: nondet, mutates, obs, sentinel, unsync, poll, span,
+# alloc, codec, atomic; //lint:hotpath is a marker that opts a function
+# into the hotalloc no-allocation obligation, not a suppression).
+# `go run ./cmd/lint -json ./...` emits machine-readable diagnostics;
+# `-stale` audits //lint: comments that no longer suppress anything.
 lint:
 	$(GO) run ./cmd/lint ./...
 
 # vettool runs the same suite through go vet's -vettool protocol, which
-# adds build-cache incrementality and covers _test.go files (senterr).
+# adds build-cache incrementality, covers _test.go files (senterr), and
+# ships cross-package facts between units as .vetx payloads.
 vettool:
 	$(GO) build -o bin/lint ./cmd/lint
 	$(GO) vet -vettool=$(CURDIR)/bin/lint ./...

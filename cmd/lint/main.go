@@ -7,7 +7,20 @@
 //
 // loads packages through `go list -export`, runs every analyzer that
 // Applies to each package, prints file:line:col: [analyzer] message lines,
-// and exits 1 when any diagnostic is reported.
+// and exits 1 when any diagnostic is reported. Because `go list -deps`
+// emits dependencies before dependents, cross-package analysis facts flow
+// through a single in-memory store: fact-producing analyzers run on every
+// module package in the dependency closure — even packages outside their
+// reporting scope or not matched by the patterns at all — so helper
+// properties reach the packages that consume them; diagnostics are only
+// reported for packages the patterns name.
+//
+// Two standalone flags serve tooling:
+//
+//	-json    emit diagnostics as a JSON array (file/line/col/analyzer/
+//	         message/suppressed), suppressed findings included
+//	-stale   audit escape hatches: list //lint:<token> comments that
+//	         suppress no diagnostic, and exit 0
 //
 // Vettool (make vettool): the binary also speaks the cmd/go unitchecker
 // protocol, so the same checks run under the build cache:
@@ -16,9 +29,12 @@
 //	go vet -vettool=bin/lint ./...
 //
 // In this mode cmd/go invokes the tool once per compilation unit with a
-// JSON config file; diagnostics go to stderr and the exit status is 2. Test
-// files are only checked by senterr (tests may reach into iteration order
-// and timing deliberately; sentinel comparisons stay wrong everywhere).
+// JSON config file; diagnostics go to stderr and the exit status is 2.
+// Facts ride the protocol's .vetx files: dependency units are analyzed
+// with VetxOnly and their exported facts serialized to VetxOutput, which
+// cmd/go hands back to dependents as PackageVetx. Test files are only
+// checked by senterr (tests may reach into iteration order and timing
+// deliberately; sentinel comparisons stay wrong everywhere).
 package main
 
 import (
@@ -34,6 +50,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -44,6 +61,8 @@ func main() {
 	// set before handing it config files.
 	versionFlag := flag.String("V", "", "print version (unitchecker protocol)")
 	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON (unitchecker protocol)")
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON (standalone mode)")
+	staleFlag := flag.Bool("stale", false, "list stale //lint: suppressions and exit 0 (standalone mode)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -51,17 +70,18 @@ func main() {
 	case *versionFlag != "":
 		printVersion()
 	case *flagsFlag:
-		// No tool-level flags beyond the protocol ones.
+		// No tool-level flags cross the unitchecker protocol; -json and
+		// -stale are standalone conveniences.
 		fmt.Println("[]")
 	case flag.NArg() == 1 && strings.HasSuffix(flag.Arg(0), ".cfg"):
 		runUnitchecker(flag.Arg(0))
 	default:
-		runStandalone(flag.Args())
+		runStandalone(flag.Args(), *jsonFlag, *staleFlag)
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: lint [packages]   (standalone, e.g. lint ./...)\n")
+	fmt.Fprintf(os.Stderr, "usage: lint [-json] [-stale] [packages]   (standalone, e.g. lint ./...)\n")
 	fmt.Fprintf(os.Stderr, "       go vet -vettool=$(which lint) [packages]\n\nanalyzers:\n")
 	for _, a := range analysis.All() {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
@@ -83,9 +103,31 @@ func printVersion() {
 		filepath.Base(progname), string(h.Sum(nil)))
 }
 
+// jsonDiag is one diagnostic in -json output.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// suppressTokens maps each escape-hatch token to the analyzers it serves
+// (markers like hotpath are annotations, not hatches, and are excluded).
+func suppressTokens() map[string]bool {
+	tokens := make(map[string]bool)
+	for _, a := range analysis.All() {
+		if a.Suppress != "" && !analysis.MarkerTokens[a.Suppress] {
+			tokens[a.Suppress] = true
+		}
+	}
+	return tokens
+}
+
 // runStandalone is the make-lint path: load packages via the go command and
 // report to stdout.
-func runStandalone(patterns []string) {
+func runStandalone(patterns []string, jsonOut, staleOut bool) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -95,26 +137,100 @@ func runStandalone(patterns []string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	found := 0
+
+	// One fact store for the whole walk: go list -deps returns packages in
+	// dependency order, so producers always run before consumers.
+	facts := analysis.NewFactStore()
+
+	type hatch struct {
+		pos   token.Position
+		key   string
+		token string
+	}
+	var hatches []hatch
+	known := suppressTokens()
+	used := make(map[string]bool) // "key\x00token" pairs that suppressed something
+
+	var all []jsonDiag
+	active := 0
 	for _, pkg := range pkgs {
+		if staleOut && !pkg.DepOnly {
+			for _, c := range analysis.LintComments(pkg.Fset, pkg.Files) {
+				for _, tok := range c.Tokens {
+					if known[tok] {
+						hatches = append(hatches, hatch{pos: pkg.Fset.Position(c.Pos), key: c.Key, token: tok})
+					}
+				}
+			}
+		}
 		for _, a := range analysis.All() {
-			if !analysis.Applies(a, pkg.ImportPath) {
+			// A dep-only package (loaded because a pattern depends on it, not
+			// matched itself) contributes facts but never diagnostics.
+			applies := analysis.Applies(a, pkg.ImportPath) && !pkg.DepOnly
+			if !applies && !analysis.FactProducer(a) {
 				continue
 			}
-			diags, err := analysis.RunAnalyzer(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+			diags, err := analysis.RunAnalyzerFacts(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, facts)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			for _, d := range diags {
-				found++
-				fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
+				if d.Suppressed {
+					used[d.SuppressedBy+"\x00"+a.Suppress] = true
+				}
+				if !applies {
+					continue // fact-producing run outside the reporting scope
+				}
+				pos := pkg.Fset.Position(d.Pos)
+				all = append(all, jsonDiag{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Analyzer: a.Name, Message: d.Message, Suppressed: d.Suppressed,
+				})
+				if !d.Suppressed {
+					active++
+					if !jsonOut && !staleOut {
+						fmt.Printf("%s: [%s] %s\n", pos, a.Name, d.Message)
+					}
+				}
 			}
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", found)
-		os.Exit(1)
+
+	switch {
+	case staleOut:
+		// Audit only: list hatches that silenced nothing; always exit 0.
+		stale := 0
+		sort.Slice(hatches, func(i, j int) bool {
+			if hatches[i].pos.Filename != hatches[j].pos.Filename {
+				return hatches[i].pos.Filename < hatches[j].pos.Filename
+			}
+			return hatches[i].pos.Line < hatches[j].pos.Line
+		})
+		for _, h := range hatches {
+			if !used[h.key+"\x00"+h.token] {
+				stale++
+				fmt.Printf("%s: stale //lint:%s suppresses nothing\n", h.pos, h.token)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "lint: %d stale suppression(s)\n", stale)
+	case jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []jsonDiag{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fatalf("encoding json: %v", err)
+		}
+		if active > 0 {
+			os.Exit(1)
+		}
+	default:
+		if active > 0 {
+			fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", active)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -127,6 +243,8 @@ type unitConfig struct {
 	GoFiles     []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
 	VetxOutput  string
 	VetxOnly    bool
 }
@@ -143,10 +261,20 @@ func runUnitchecker(cfgPath string) {
 		fatalf("parsing config %s: %v", cfgPath, err)
 	}
 
-	// Dependency units are vetted only for their facts; this suite exports
-	// none, so write the (empty) facts file and succeed without analyzing.
-	if cfg.VetxOnly {
-		writeVetx(cfg.VetxOutput)
+	// Test variants re-list the non-test files; only report on them from the
+	// base unit so findings are not duplicated across units.
+	basePath := cfg.ImportPath
+	isVariant := false
+	if i := strings.Index(basePath, " ["); i >= 0 {
+		basePath, isVariant = basePath[:i], true
+	}
+
+	// Dependency units are vetted only for their facts. Standard-library
+	// units get an empty facts file (analyzers treat the stdlib
+	// intrinsically); everything else is analyzed from source by the
+	// fact-producing analyzers so helper properties reach dependents.
+	if cfg.VetxOnly && (cfg.Standard[basePath] || len(cfg.GoFiles) == 0) {
+		writeVetx(cfg.VetxOutput, nil)
 		return
 	}
 
@@ -180,28 +308,40 @@ func runUnitchecker(cfgPath string) {
 		fatalf("typecheck %s: %v", cfg.ImportPath, err)
 	}
 
-	// cmd/go expects the facts output file to exist even though this suite
-	// exports no facts.
-	writeVetx(cfg.VetxOutput)
-
-	// Test variants re-list the non-test files; only report on them from the
-	// base unit so findings are not duplicated across units.
-	basePath := cfg.ImportPath
-	isVariant := false
-	if i := strings.Index(basePath, " ["); i >= 0 {
-		basePath, isVariant = basePath[:i], true
+	// Seed the fact store with every dependency's facts. Each .vetx already
+	// carries its own dependencies' facts merged in, so direct imports
+	// suffice; empty files are stdlib units that produced nothing.
+	facts := analysis.NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		if err := facts.Merge(data); err != nil {
+			fatalf("merging facts from %s: %v", vetx, err)
+		}
 	}
 
 	found := 0
 	for _, a := range analysis.All() {
-		if !analysis.Applies(a, basePath) {
+		applies := analysis.Applies(a, basePath)
+		if cfg.VetxOnly {
+			applies = false // facts only; a dependent unit reports
+		}
+		if !applies && !analysis.FactProducer(a) {
 			continue
 		}
-		diags, err := analysis.RunAnalyzer(a, fset, files, pkg, info)
+		diags, err := analysis.RunAnalyzerFacts(a, fset, files, pkg, info, facts)
 		if err != nil {
 			fatalf("%v", err)
 		}
+		if !applies {
+			continue
+		}
 		for _, d := range diags {
+			if d.Suppressed {
+				continue
+			}
 			pos := fset.Position(d.Pos)
 			inTest := strings.HasSuffix(pos.Filename, "_test.go")
 			if inTest && a != analysis.SentErr {
@@ -214,16 +354,28 @@ func runUnitchecker(cfgPath string) {
 			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pos, a.Name, d.Message)
 		}
 	}
+
+	writeVetx(cfg.VetxOutput, facts)
 	if found > 0 {
 		os.Exit(2)
 	}
 }
 
-func writeVetx(path string) {
+// writeVetx persists the fact store (or an empty file) at path; cmd/go
+// expects the file to exist even when there are no facts.
+func writeVetx(path string, facts *analysis.FactStore) {
 	if path == "" {
 		return
 	}
-	if err := os.WriteFile(path, nil, 0o666); err != nil {
+	var data []byte
+	if facts != nil && facts.Len() > 0 {
+		var err error
+		data, err = facts.Encode()
+		if err != nil {
+			fatalf("encoding facts: %v", err)
+		}
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
 		fatalf("writing vetx output: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -104,5 +105,336 @@ func TestLintVersionHandshake(t *testing.T) {
 	}
 	if strings.TrimSpace(string(flagsOut)) != "[]" {
 		t.Fatalf("lint -flags = %q, want []", flagsOut)
+	}
+}
+
+// writeTree materializes a file map under a temp dir and returns the dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, body := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// violationModule is a synthetic module with exactly one violation per
+// PR 5-8 contract analyzer, plus a loop whose poll arrives through a
+// cross-package fact (chaos.Check) — a false positive there means fact
+// propagation broke in the driver under test.
+func violationModule(t *testing.T) string {
+	t.Helper()
+	return writeTree(t, map[string]string{
+		"go.mod": "module synthetic\n\ngo 1.22\n",
+		"resilient/resilient.go": `package resilient
+
+type Ctx struct{ canceled bool }
+
+func (c *Ctx) Err() error {
+	if c != nil && c.canceled {
+		return errCanceled
+	}
+	return nil
+}
+
+type ctxErr struct{ s string }
+
+func (e *ctxErr) Error() string { return e.s }
+
+var errCanceled = &ctxErr{"canceled"}
+
+type Enc struct{ buf []byte }
+
+func (e *Enc) U32(v uint32) { e.buf = append(e.buf, byte(v)) }
+func (e *Enc) Str(s string) { e.buf = append(e.buf, s...) }
+
+type Dec struct{ off int }
+
+func (d *Dec) U32() uint32 { d.off += 4; return 0 }
+func (d *Dec) Str() string { d.off++; return "" }
+`,
+		"chaos/chaos.go": `package chaos
+
+import "synthetic/resilient"
+
+func Check(ctx *resilient.Ctx, point string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_ = point
+	return nil
+}
+`,
+		"obs/obs.go": `package obs
+
+type SpanID uint64
+
+type TraceSpan struct{ ID, Parent SpanID }
+
+type Tracer struct{}
+
+func (t *Tracer) Begin(name string, parent SpanID) TraceSpan { return TraceSpan{} }
+func (t *Tracer) End(s TraceSpan)                            {}
+`,
+		"internal/valence/field.go": `package valence
+
+import (
+	"synthetic/chaos"
+	"synthetic/resilient"
+)
+
+func work(i int) int { return i * 2 }
+
+// BadLoop never polls: the ctxpoll violation.
+func BadLoop(ctx *resilient.Ctx, items []int) int {
+	total := 0
+	for _, it := range items {
+		total += work(it)
+	}
+	return total
+}
+
+// GoodLoop polls through chaos.Check; reporting it means cross-package
+// fact propagation broke.
+func GoodLoop(ctx *resilient.Ctx, items []int) error {
+	for _, it := range items {
+		if err := chaos.Check(ctx, "layer"); err != nil {
+			return err
+		}
+		work(it)
+	}
+	return nil
+}
+`,
+		"internal/core/codec.go": `package core
+
+import "synthetic/resilient"
+
+type Frame struct {
+	ID   uint32
+	Name string
+}
+
+func (f *Frame) Sections(e *resilient.Enc) {
+	e.U32(f.ID)
+	e.Str(f.Name)
+}
+
+// DecodeFrame reads the sections in the wrong order: the codecpair
+// violation.
+func DecodeFrame(d *resilient.Dec) *Frame {
+	f := &Frame{}
+	f.Name = d.Str()
+	f.ID = d.U32()
+	return f
+}
+`,
+		"span/span.go": `package span
+
+import "synthetic/obs"
+
+// Leak discards a span: the spanend violation.
+func Leak(tr *obs.Tracer) {
+	tr.Begin("phase", 0)
+}
+`,
+		"hot/hot.go": `package hot
+
+// Fill is marked hot but allocates: the hotalloc violation.
+//lint:hotpath
+func Fill(n int) []byte {
+	return make([]byte, n)
+}
+`,
+		"atomicpkg/atomicpkg.go": `package atomicpkg
+
+import "sync/atomic"
+
+type counter struct{ n uint64 }
+
+func bump(c *counter) { atomic.AddUint64(&c.n, 1) }
+
+// Read touches the field plainly: the atomicfield violation.
+func Read(c *counter) uint64 { return c.n }
+`,
+	})
+}
+
+// TestLintExitCodePerNewAnalyzer plants one violation per contract analyzer
+// in a synthetic module and asserts the standalone checker exits 1 naming
+// all five — and that the loop polling through a cross-package helper is
+// NOT among the findings.
+func TestLintExitCodePerNewAnalyzer(t *testing.T) {
+	bin := buildLint(t)
+	dir := violationModule(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("lint on planted violations: err = %v (want exit 1)\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("lint exit code = %d, want 1\n%s", code, out)
+	}
+	text := string(out)
+	for _, tag := range []string{"[ctxpoll]", "[spanend]", "[hotalloc]", "[codecpair]", "[atomicfield]"} {
+		if !strings.Contains(text, tag) {
+			t.Errorf("lint output missing %s diagnostic:\n%s", tag, text)
+		}
+	}
+	if strings.Contains(text, "GoodLoop") || strings.Count(text, "[ctxpoll]") != 1 {
+		t.Errorf("cross-package polls fact did not propagate (GoodLoop flagged?):\n%s", text)
+	}
+}
+
+// TestLintVettoolPerNewAnalyzer drives the same module through the go vet
+// unitchecker protocol: all five contract analyzers must report, and the
+// chaos.Check polls fact must cross packages via the .vetx files.
+func TestLintVettoolPerNewAnalyzer(t *testing.T) {
+	bin := buildLint(t)
+	dir := violationModule(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on planted violations succeeded, want failure\n%s", out)
+	}
+	text := string(out)
+	for _, tag := range []string{"[ctxpoll]", "[spanend]", "[hotalloc]", "[codecpair]", "[atomicfield]"} {
+		if !strings.Contains(text, tag) {
+			t.Errorf("go vet output missing %s diagnostic:\n%s", tag, text)
+		}
+	}
+	if strings.Count(text, "[ctxpoll]") != 1 {
+		t.Errorf("cross-package polls fact did not cross the vetx boundary:\n%s", text)
+	}
+}
+
+// TestLintJSONRoundTrip checks -json output: every diagnostic from the
+// synthetic module decodes with file/line/analyzer/message populated,
+// suppressed findings are included and marked, and the document re-encodes
+// losslessly.
+func TestLintJSONRoundTrip(t *testing.T) {
+	bin := buildLint(t)
+	dir := violationModule(t)
+	suppressed := filepath.Join(dir, "hot", "suppressed.go")
+	if err := os.WriteFile(suppressed, []byte(`package hot
+
+//lint:hotpath
+func FillQuiet(n int) []byte {
+	return make([]byte, n) //lint:alloc exercised by the json test
+}
+`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("lint -json exit = %v, want 1\n%s", err, out)
+	}
+	type diag struct {
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Col        int    `json:"col"`
+		Analyzer   string `json:"analyzer"`
+		Message    string `json:"message"`
+		Suppressed bool   `json:"suppressed"`
+	}
+	var diags []diag
+	if err := json.Unmarshal(out, &diags); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, out)
+	}
+	if len(diags) < 6 {
+		t.Fatalf("got %d diagnostics, want >= 6 (5 active + 1 suppressed)\n%s", len(diags), out)
+	}
+	analyzers := make(map[string]bool)
+	foundSuppressed := false
+	for _, d := range diags {
+		if d.File == "" || d.Line <= 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		analyzers[d.Analyzer] = true
+		if d.Suppressed && strings.HasSuffix(d.File, "suppressed.go") {
+			foundSuppressed = true
+		}
+	}
+	for _, want := range []string{"ctxpoll", "spanend", "hotalloc", "codecpair", "atomicfield"} {
+		if !analyzers[want] {
+			t.Errorf("-json output missing analyzer %q", want)
+		}
+	}
+	if !foundSuppressed {
+		t.Errorf("-json output does not mark the suppressed finding")
+	}
+	redone, err := json.Marshal(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again []diag
+	if err := json.Unmarshal(redone, &again); err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(diags) {
+		t.Fatalf("round trip changed diagnostic count: %d != %d", len(again), len(diags))
+	}
+}
+
+// TestLintStaleAudit plants one live suppression and one stale one: -stale
+// must list only the stale comment and exit 0 despite the live findings.
+func TestLintStaleAudit(t *testing.T) {
+	bin := buildLint(t)
+	dir := violationModule(t)
+	stalefile := filepath.Join(dir, "hot", "stale.go")
+	if err := os.WriteFile(stalefile, []byte(`package hot
+
+//lint:hotpath
+func Sum(xs []int) int {
+	total := 0
+	//lint:poll nothing to suppress here
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func Quiet(n int) []byte {
+	return make([]byte, n) //lint:alloc suppresses nothing: Quiet is not a hot path
+}
+`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "hot", "suppressed.go"), []byte(`package hot
+
+//lint:hotpath
+func FillQuiet(n int) []byte {
+	return make([]byte, n) //lint:alloc live suppression
+}
+`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-stale", "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("lint -stale must exit 0 even with findings present: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "stale.go") || !strings.Contains(text, "stale //lint:poll") {
+		t.Errorf("-stale did not flag the dead poll suppression:\n%s", text)
+	}
+	if !strings.Contains(text, "stale //lint:alloc") {
+		t.Errorf("-stale did not flag the dead alloc suppression on a non-hotpath function:\n%s", text)
+	}
+	if strings.Contains(text, "suppressed.go") {
+		t.Errorf("-stale flagged the live suppression:\n%s", text)
 	}
 }

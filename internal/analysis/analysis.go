@@ -18,11 +18,34 @@
 //   - parshard: worker spawn sites do not capture loop variables and do not
 //     fire-and-forget sends on unbuffered channels.
 //
+// A second generation of analyzers enforces the contracts introduced by the
+// resilience, bit-parallel, and tracing layers, built on a shared dataflow
+// platform (an intraprocedural CFG/dominance builder in cfg.go, a
+// package-level call graph in callgraph.go, and cross-package facts in
+// facts.go):
+//
+//   - ctxpoll: top-level loops in functions that take a *resilient.Ctx
+//     inside the deterministic engine packages must poll cancellation on
+//     every iteration path (directly, via chaos.Check, or through any
+//     helper that transitively polls — propagated by facts).
+//   - spanend: every obs.Tracer Begin/BeginLane span is Ended on all exit
+//     paths, by defer or by an End that covers every path to return.
+//   - hotalloc: functions annotated //lint:hotpath must not contain
+//     allocation-inducing constructs (composite literals, fmt calls,
+//     non-map-probe string<->[]byte conversions, closures, interface
+//     boxing), transitively through the call graph.
+//   - codecpair: RSCK checkpoint writers (Sections methods) and their
+//     Decode* readers must use the resilient.Enc/Dec section methods in
+//     exactly mirrored order.
+//   - atomicfield: a struct field accessed through sync/atomic anywhere in
+//     the package is never plainly read or written elsewhere.
+//
 // The suite runs standalone via cmd/lint (wired into make lint / tier1) and
 // through go vet -vettool. Each analyzer has an escape hatch: a comment of
 // the form //lint:<token> (e.g. //lint:nondet) on the flagged line or the
 // line directly above suppresses the diagnostic, leaving an auditable
-// marker in the source.
+// marker in the source. cmd/lint -stale audits hatches that no longer
+// suppress anything.
 package analysis
 
 import (
@@ -47,11 +70,16 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// Diagnostic is one finding, positioned in the pass's FileSet.
+// Diagnostic is one finding, positioned in the pass's FileSet. A finding
+// silenced by an escape-hatch comment is still recorded, flagged Suppressed
+// and carrying the "file:line" key of the comment that silenced it — the
+// -json output reports it and the -stale audit counts the hatch as used.
 type Diagnostic struct {
-	Pos      token.Pos
-	Analyzer string
-	Message  string
+	Pos          token.Pos
+	Analyzer     string
+	Message      string
+	Suppressed   bool
+	SuppressedBy string
 }
 
 // Pass hands one analyzer one type-checked package.
@@ -61,61 +89,101 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts is the cross-package fact store shared by the whole driver run;
+	// see facts.go. Never nil.
+	Facts *FactStore
 
 	diagnostics []Diagnostic
 	// suppressed maps "file:line" to the set of escape tokens present there.
 	suppressed map[string]map[string]bool
 }
 
+// posKey builds the "file:line" key the suppression index and the stale
+// audit agree on.
+func posKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
 // NewPass assembles a pass and indexes the package's //lint: escape-hatch
-// comments.
-func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+// comments. A nil facts store is replaced with a fresh one, so fixture
+// runs get intra-package fact propagation without wiring a store.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore) *Pass {
+	if facts == nil {
+		facts = NewFactStore()
+	}
 	p := &Pass{
 		Analyzer:   a,
 		Fset:       fset,
 		Files:      files,
 		Pkg:        pkg,
 		TypesInfo:  info,
+		Facts:      facts,
 		suppressed: make(map[string]map[string]bool),
 	}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "lint:") {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-				if p.suppressed[key] == nil {
-					p.suppressed[key] = make(map[string]bool)
-				}
-				for _, tok := range strings.Fields(strings.TrimPrefix(text, "lint:")) {
-					p.suppressed[key][tok] = true
-				}
-			}
+	for _, c := range LintComments(fset, files) {
+		if p.suppressed[c.Key] == nil {
+			p.suppressed[c.Key] = make(map[string]bool)
+		}
+		for _, tok := range c.Tokens {
+			p.suppressed[c.Key][tok] = true
 		}
 	}
 	return p
 }
 
-// Reportf records a diagnostic unless an escape-hatch comment suppresses it.
-func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	if p.Analyzer.Suppress != "" {
-		position := p.Fset.Position(pos)
-		for _, line := range []int{position.Line, position.Line - 1} {
-			key := fmt.Sprintf("%s:%d", position.Filename, line)
-			if p.suppressed[key][p.Analyzer.Suppress] {
-				return
+// LintComment is one //lint: comment: its position, its "file:line" key
+// (matched against Diagnostic.SuppressedBy by the stale audit), and the
+// whitespace-separated tokens following the prefix. The first token is the
+// escape hatch or marker; trailing tokens are free-form rationale.
+type LintComment struct {
+	Pos    token.Pos
+	Key    string
+	Tokens []string
+}
+
+// LintComments indexes every //lint: comment in the files.
+func LintComments(fset *token.FileSet, files []*ast.File) []LintComment {
+	var out []LintComment
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, LintComment{
+					Pos:    c.Pos(),
+					Key:    posKey(pos.Filename, pos.Line),
+					Tokens: strings.Fields(strings.TrimPrefix(text, "lint:")),
+				})
 			}
 		}
 	}
-	p.diagnostics = append(p.diagnostics, Diagnostic{
+	return out
+}
+
+// Reportf records a diagnostic. An escape-hatch comment on the reported
+// line or the line above marks it Suppressed rather than dropping it, so
+// drivers can audit hatch usage.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	d := Diagnostic{
 		Pos:      pos,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+	if p.Analyzer.Suppress != "" {
+		position := p.Fset.Position(pos)
+		for _, line := range []int{position.Line, position.Line - 1} {
+			key := posKey(position.Filename, line)
+			if p.suppressed[key][p.Analyzer.Suppress] {
+				d.Suppressed = true
+				d.SuppressedBy = key
+				break
+			}
+		}
+	}
+	p.diagnostics = append(p.diagnostics, d)
 }
 
 // TypeOf returns the type of e, or nil when the checker recorded none.
@@ -129,9 +197,29 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 }
 
 // RunAnalyzer runs one analyzer over one loaded package and returns its
-// diagnostics sorted by position.
+// active (unsuppressed) diagnostics sorted by position. Fixture tests and
+// single-package callers use this; drivers that need suppressed findings
+// and cross-package facts use RunAnalyzerFacts.
 func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
-	pass := NewPass(a, fset, files, pkg, info)
+	diags, err := RunAnalyzerFacts(a, fset, files, pkg, info, nil)
+	if err != nil {
+		return nil, err
+	}
+	active := diags[:0]
+	for _, d := range diags {
+		if !d.Suppressed {
+			active = append(active, d)
+		}
+	}
+	return active, nil
+}
+
+// RunAnalyzerFacts runs one analyzer over one loaded package against a
+// shared fact store and returns all its diagnostics — suppressed ones
+// included, flagged — sorted by position. Facts exported by the run remain
+// in the store for downstream packages.
+func RunAnalyzerFacts(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore) ([]Diagnostic, error) {
+	pass := NewPass(a, fset, files, pkg, info, facts)
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
 	}
@@ -143,7 +231,17 @@ func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{DetOrder, InternFreeze, ObsGuard, SentErr, ParShard}
+	return []*Analyzer{
+		DetOrder, InternFreeze, ObsGuard, SentErr, ParShard,
+		CtxPoll, SpanEnd, HotAlloc, CodecPair, AtomicField,
+	}
+}
+
+// MarkerTokens are //lint: tokens that are annotations rather than escape
+// hatches — they opt a declaration into a contract instead of silencing a
+// diagnostic, so the stale audit never reports them.
+var MarkerTokens = map[string]bool{
+	"hotpath": true, // opts a function into hotalloc checking
 }
 
 // deterministicSuffixes are the import-path suffixes of the deterministic
@@ -175,12 +273,25 @@ func IsDeterministicEnginePkg(path string) bool {
 // here, next to the suite definition.
 func Applies(a *Analyzer, pkgPath string) bool {
 	switch a {
-	case DetOrder:
+	case DetOrder, CtxPoll:
 		return IsDeterministicEnginePkg(pkgPath)
-	case ObsGuard:
-		// Everywhere but the Recorder implementation itself.
+	case ObsGuard, SpanEnd:
+		// Everywhere but the Recorder/Tracer implementation itself.
 		return pkgPath != "internal/obs" && !strings.HasSuffix(pkgPath, "/internal/obs")
 	default:
 		return true
 	}
+}
+
+// FactProducer reports whether the analyzer exports cross-package facts.
+// Drivers run fact producers on every module package — even ones where
+// Applies says not to report — and discard the diagnostics, so facts about
+// helpers defined outside an analyzer's reporting scope still reach the
+// packages inside it.
+func FactProducer(a *Analyzer) bool {
+	switch a {
+	case CtxPoll, HotAlloc, ObsGuard, AtomicField:
+		return true
+	}
+	return false
 }

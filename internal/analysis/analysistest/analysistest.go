@@ -37,13 +37,40 @@ type want struct {
 // and compares reported diagnostics against the // want comments.
 func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPath string) {
 	t.Helper()
+	RunWithDeps(t, srcRoot, a, pkgPath)
+}
+
+// RunWithDeps is Run with cross-package fact flow: each dep fixture package
+// is analyzed first (facts only — its diagnostics are discarded) and the
+// accumulated store feeds the target package's run, exactly as the
+// dependency-ordered cmd/lint walk would. Facts cross via string keys, so
+// the deps and the target seeing different types.Object identities is not
+// only tolerated but part of what the test exercises.
+func RunWithDeps(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPath string, deps ...string) {
+	t.Helper()
+	facts := analysis.NewFactStore()
+	for _, dep := range deps {
+		lp, err := analysis.LoadTestdataPackage(srcRoot, dep)
+		if err != nil {
+			t.Fatalf("loading dep fixture %s: %v", dep, err)
+		}
+		if _, err := analysis.RunAnalyzerFacts(a, lp.Fset, lp.Files, lp.Pkg, lp.Info, facts); err != nil {
+			t.Fatalf("running %s on dep %s: %v", a.Name, dep, err)
+		}
+	}
 	lp, err := analysis.LoadTestdataPackage(srcRoot, pkgPath)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", pkgPath, err)
 	}
-	diags, err := analysis.RunAnalyzer(a, lp.Fset, lp.Files, lp.Pkg, lp.Info)
+	all, err := analysis.RunAnalyzerFacts(a, lp.Fset, lp.Files, lp.Pkg, lp.Info, facts)
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+	var diags []analysis.Diagnostic
+	for _, d := range all {
+		if !d.Suppressed {
+			diags = append(diags, d)
+		}
 	}
 
 	wants, err := collectWants(lp)

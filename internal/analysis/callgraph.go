@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is the package-level static call graph: for every function or
+// method declared in the pass's files, the list of functions it calls.
+// Calls made inside function literals are attributed to the enclosing
+// declaration (the literal runs on some frame of that function's dynamic
+// extent, or is its worker — either way the enclosing decl is the unit
+// facts attach to). Interface-method callees appear as the interface's
+// *types.Func: they are recorded but carry no defining body, so fact
+// propagation stops there unless a fact was exported against the interface
+// method's key.
+type CallGraph struct {
+	// Decls maps each declared function object to its syntax.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Callees maps each declared function to its callees in source order,
+	// deduplicated.
+	Callees map[*types.Func][]*types.Func
+}
+
+// BuildCallGraph constructs the call graph of the pass's package.
+func BuildCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{
+		Decls:   make(map[*types.Func]*ast.FuncDecl),
+		Callees: make(map[*types.Func][]*types.Func),
+	}
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl) {
+		fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		g.Decls[fn] = fd
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := CalleeOf(pass, call); callee != nil && !seen[callee] {
+				seen[callee] = true
+				g.Callees[fn] = append(g.Callees[fn], callee)
+			}
+			return true
+		})
+	})
+	return g
+}
+
+// CalleeOf resolves the function or method a call expression invokes, or
+// nil for builtins, conversions, and calls of function-typed values.
+func CalleeOf(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// Propagate runs a bottom-up fixpoint over the call graph: it repeatedly
+// calls derive(fn, fd) for every declared function until no call changes
+// the answer of has(fn). Analyzers use it to close intra-package fact sets
+// (does this helper transitively poll? transitively allocate?) before the
+// final reporting walk; cross-package closure comes for free because
+// imported facts were merged into the store before the pass ran.
+func (g *CallGraph) Propagate(derive func(fn *types.Func, fd *ast.FuncDecl) bool) {
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range g.Decls {
+			if derive(fn, fd) {
+				changed = true
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CodecPair enforces the RSCK checkpoint codec's mirror symmetry. The
+// resilient.Enc/Dec section codec is positional: Dec has no field tags, so
+// a reader that consumes sections in any order other than exactly the
+// write order silently decodes shifted garbage — the sticky error only
+// fires when lengths happen to run the buffer out, and a resumed
+// exploration from such a snapshot diverges bit-from-bit with no
+// diagnostic pointing at the codec.
+//
+// The convention under check is the one every checkpoint type follows: a
+// writer is a method named Sections whose receiver type T encodes through
+// resilient.Enc method calls, and its reader is the same-package function
+// Decode<T> consuming through resilient.Dec. The analyzer extracts each
+// side's codec-call sequence in source order, tagged with the loop depth
+// of each call (an element written once must not be read in a loop, and
+// vice versa — CertifyCheckpoint's per-frame U32 triplets only mirror
+// because both sides loop), and reports the first divergence. Err, Done,
+// Bytes, and Len are bookkeeping, not payload, and are excluded. Writers
+// without a Decode<T> reader (and readers without a writer) are skipped:
+// symmetry is only checkable when both halves are declared in the package.
+var CodecPair = &Analyzer{
+	Name:     "codecpair",
+	Suppress: "codec",
+	Doc: "flag Sections/Decode<T> checkpoint codec pairs whose resilient.Enc write " +
+		"sequence and resilient.Dec read sequence are not exact mirrors",
+	Run: runCodecPair,
+}
+
+// codecOp is one payload call: the Enc/Dec method name and the for/range
+// nesting depth it executes at.
+type codecOp struct {
+	Name  string
+	Depth int
+	Pos   ast.Node
+}
+
+func runCodecPair(pass *Pass) error {
+	writers := make(map[string][]codecOp) // receiver type name -> ops
+	writerDecl := make(map[string]*ast.FuncDecl)
+	readers := make(map[string][]codecOp) // type name from Decode<T> -> ops
+	readerDecl := make(map[string]*ast.FuncDecl)
+
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl) {
+		switch {
+		case fd.Name.Name == "Sections" && fd.Recv != nil && len(fd.Recv.List) == 1:
+			tname := receiverTypeName(pass, fd)
+			if tname == "" {
+				return
+			}
+			if ops := codecCalls(pass, fd.Body, "Enc"); len(ops) > 0 {
+				writers[tname] = ops
+				writerDecl[tname] = fd
+			}
+		case strings.HasPrefix(fd.Name.Name, "Decode") && fd.Recv == nil:
+			tname := strings.TrimPrefix(fd.Name.Name, "Decode")
+			if tname == "" {
+				return
+			}
+			if ops := codecCalls(pass, fd.Body, "Dec"); len(ops) > 0 {
+				readers[tname] = ops
+				readerDecl[tname] = fd
+			}
+		}
+	})
+
+	for tname, w := range writers {
+		r, ok := readers[tname]
+		if !ok {
+			continue
+		}
+		reportCodecDivergence(pass, tname, w, r, writerDecl[tname], readerDecl[tname])
+	}
+	return nil
+}
+
+func reportCodecDivergence(pass *Pass, tname string, w, r []codecOp, wd, rd *ast.FuncDecl) {
+	n := len(w)
+	if len(r) < n {
+		n = len(r)
+	}
+	for i := 0; i < n; i++ {
+		if w[i].Name != r[i].Name || w[i].Depth != r[i].Depth {
+			pass.Reportf(r[i].Pos.Pos(),
+				"Decode%s reads %s here but (%s).Sections writes %s at step %d: the Enc/Dec sequences must mirror exactly (//lint:codec to override)",
+				tname, describeOp(r[i]), tname, describeOp(w[i]), i+1)
+			return
+		}
+	}
+	switch {
+	case len(w) > len(r):
+		pass.Reportf(rd.Pos(),
+			"Decode%s stops after %d reads but (%s).Sections writes %d values: trailing %s never decoded (//lint:codec to override)",
+			tname, len(r), tname, len(w), describeOp(w[len(r)]))
+	case len(r) > len(w):
+		pass.Reportf(r[len(w)].Pos.Pos(),
+			"Decode%s reads %s beyond the %d values (%s).Sections writes (//lint:codec to override)",
+			tname, describeOp(r[len(w)]), len(w), tname)
+	}
+}
+
+func describeOp(op codecOp) string {
+	if op.Depth > 0 {
+		return fmt.Sprintf("%s (in a depth-%d loop)", op.Name, op.Depth)
+	}
+	return op.Name
+}
+
+// receiverTypeName resolves the named type of a method's receiver.
+func receiverTypeName(pass *Pass, fd *ast.FuncDecl) string {
+	t := pass.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// codecCalls extracts the payload-method call sequence on values of the
+// resilient codec type (Enc or Dec) in source order, tagged with loop
+// depth. Function literals are opaque (no checkpoint delegates its codec
+// to a closure) and bookkeeping methods are skipped.
+func codecCalls(pass *Pass, body *ast.BlockStmt, codecType string) []codecOp {
+	var ops []codecOp
+	depth := 0
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			depth++
+			walkChildren(n, walk)
+			depth--
+			return
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && isCodecValue(pass.TypeOf(unparen(sel.X)), codecType) {
+				switch sel.Sel.Name {
+				case "Err", "Done", "Bytes", "Len":
+				default:
+					ops = append(ops, codecOp{Name: sel.Sel.Name, Depth: depth, Pos: n})
+				}
+			}
+		}
+		walkChildren(n, walk)
+	}
+	walk(body)
+	return ops
+}
+
+// isCodecValue reports whether t is the named type name (or a pointer to
+// it) declared in a resilient package (suffix-matched for fixtures).
+func isCodecValue(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "resilient" || strings.HasSuffix(path, "/resilient")
+}

@@ -20,8 +20,12 @@ import (
 type LoadedPackage struct {
 	ImportPath string
 	Dir        string
-	Fset       *token.FileSet
-	Files      []*ast.File
+	// DepOnly marks a module package pulled in only as a dependency of the
+	// requested patterns: it must be analyzed so its exported facts reach
+	// dependents, but it is outside the reporting scope of the run.
+	DepOnly bool
+	Fset    *token.FileSet
+	Files   []*ast.File
 	Pkg        *types.Package
 	Info       *types.Info
 }
@@ -93,7 +97,11 @@ func (l *Loader) Load(patterns ...string) ([]*LoadedPackage, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if p.Module != nil && !p.DepOnly && !p.Standard {
+		// Module dependencies of the patterns load too: dependency order is
+		// what lets a shared fact store resolve cross-package facts when the
+		// patterns name a subset of the module (the caller reports only on
+		// non-DepOnly packages).
+		if p.Module != nil && !p.Standard {
 			targets = append(targets, p)
 		}
 	}
@@ -135,6 +143,7 @@ func (l *Loader) Load(patterns ...string) ([]*LoadedPackage, error) {
 		loaded = append(loaded, &LoadedPackage{
 			ImportPath: p.ImportPath,
 			Dir:        p.Dir,
+			DepOnly:    p.DepOnly,
 			Fset:       fset,
 			Files:      files,
 			Pkg:        pkg,

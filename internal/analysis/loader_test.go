@@ -46,10 +46,19 @@ func overlayPlantedFold(weights map[string]int) int {
 	if err != nil {
 		t.Fatalf("loading overlaid package: %v", err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	var pkg *analysis.LoadedPackage
+	for _, p := range pkgs {
+		if p.DepOnly {
+			continue
+		}
+		if pkg != nil {
+			t.Fatalf("two non-dep packages matched ./internal/valence: %s and %s", pkg.ImportPath, p.ImportPath)
+		}
+		pkg = p
 	}
-	pkg := pkgs[0]
+	if pkg == nil {
+		t.Fatal("no non-dep package matched ./internal/valence")
+	}
 	if !analysis.Applies(analysis.DetOrder, pkg.ImportPath) {
 		t.Fatalf("detorder does not apply to %s", pkg.ImportPath)
 	}
@@ -68,29 +77,168 @@ func overlayPlantedFold(weights map[string]int) int {
 	}
 }
 
-// TestLoaderCleanPackages loads the engine packages without an overlay and
-// expects the full applicable suite to come back empty.
+// TestLoaderCleanPackages loads the internal tree without an overlay and
+// expects the full applicable suite to come back empty. It mirrors the
+// cmd/lint standalone driver: one fact store shared across the walk, with
+// fact-producing analyzers also run on packages outside their reporting
+// scope, so cross-package properties (chaos.Check polls the context, obs
+// nil-predicate helpers) reach the engine packages that rely on them.
 func TestLoaderCleanPackages(t *testing.T) {
 	loader := &analysis.Loader{Dir: moduleRoot(t)}
-	pkgs, err := loader.Load("./internal/core", "./internal/valence", "./internal/decision", "./internal/knowledge")
+	pkgs, err := loader.Load("./internal/...")
 	if err != nil {
-		t.Fatalf("loading engine packages: %v", err)
+		t.Fatalf("loading internal packages: %v", err)
 	}
-	if len(pkgs) != 4 {
-		t.Fatalf("loaded %d packages, want 4", len(pkgs))
-	}
+	seen := make(map[string]bool)
+	facts := analysis.NewFactStore()
 	for _, pkg := range pkgs {
+		seen[pkg.ImportPath] = true
 		for _, a := range analysis.All() {
-			if !analysis.Applies(a, pkg.ImportPath) {
+			applies := analysis.Applies(a, pkg.ImportPath) && !pkg.DepOnly
+			if !applies && !analysis.FactProducer(a) {
 				continue
 			}
-			diags, err := analysis.RunAnalyzer(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+			diags, err := analysis.RunAnalyzerFacts(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, facts)
 			if err != nil {
 				t.Fatal(err)
 			}
+			if !applies {
+				continue
+			}
 			for _, d := range diags {
+				if d.Suppressed {
+					continue
+				}
 				t.Errorf("%s: [%s] %s", pkg.Fset.Position(d.Pos), a.Name, d.Message)
 			}
 		}
+	}
+	for _, want := range []string{"repro/internal/core", "repro/internal/valence", "repro/internal/decision", "repro/internal/knowledge"} {
+		if !seen[want] {
+			t.Errorf("engine package %s not loaded", want)
+		}
+	}
+}
+
+// TestLoaderNarrowPatternDepFacts pins the cross-package fact story for
+// narrowed patterns: loading just ./internal/valence must still bring in
+// its module dependencies (marked DepOnly) in dependency order, so the
+// polls fact of chaos.Check reaches the valence layer loops and the suite
+// stays clean — the same walk cmd/lint performs when given one package.
+func TestLoaderNarrowPatternDepFacts(t *testing.T) {
+	loader := &analysis.Loader{Dir: moduleRoot(t)}
+	pkgs, err := loader.Load("./internal/valence")
+	if err != nil {
+		t.Fatalf("loading ./internal/valence: %v", err)
+	}
+	depOnly := make(map[string]bool)
+	for _, p := range pkgs {
+		if p.DepOnly {
+			depOnly[p.ImportPath] = true
+		}
+	}
+	if !depOnly["repro/internal/chaos"] {
+		t.Fatalf("repro/internal/chaos not loaded as a DepOnly package; deps: %v", depOnly)
+	}
+	facts := analysis.NewFactStore()
+	for _, pkg := range pkgs {
+		for _, a := range analysis.All() {
+			applies := analysis.Applies(a, pkg.ImportPath) && !pkg.DepOnly
+			if !applies && !analysis.FactProducer(a) {
+				continue
+			}
+			diags, err := analysis.RunAnalyzerFacts(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, facts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !applies {
+				continue
+			}
+			for _, d := range diags {
+				if !d.Suppressed {
+					t.Errorf("%s: [%s] %s", pkg.Fset.Position(d.Pos), a.Name, d.Message)
+				}
+			}
+		}
+	}
+}
+
+// writeModule materializes a synthetic module under a temp dir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, body := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoaderOverlayNonexistentFile: an overlay entry whose path matches no
+// listed Go file must be ignored, not invent a package or fail the load.
+func TestLoaderOverlayNonexistentFile(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module synthetic\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nfunc A() int { return 1 }\n",
+	})
+	ghost := filepath.Join(dir, "a", "ghost.go")
+	loader := &analysis.Loader{Dir: dir, Overlay: map[string][]byte{ghost: []byte("package a\n\nfunc Ghost() {}\n")}}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("Load with dangling overlay: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	if pkgs[0].Pkg.Scope().Lookup("Ghost") != nil {
+		t.Fatalf("overlay of a nonexistent file leaked a declaration into the package")
+	}
+}
+
+// TestLoaderTestOnlyPackage: a directory holding only _test.go files has no
+// GoFiles and must be skipped without failing the surrounding load.
+func TestLoaderTestOnlyPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":         "module synthetic\n\ngo 1.22\n",
+		"a/a.go":         "package a\n\nfunc A() int { return 1 }\n",
+		"b/only_test.go": "package b\n\nimport \"testing\"\n\nfunc TestNothing(t *testing.T) {}\n",
+	})
+	loader := &analysis.Loader{Dir: dir}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("Load with test-only package: %v", err)
+	}
+	for _, p := range pkgs {
+		if strings.HasSuffix(p.ImportPath, "/b") {
+			t.Fatalf("test-only package %s should have been skipped", p.ImportPath)
+		}
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1 (only a)", len(pkgs))
+	}
+}
+
+// TestLoaderBrokenDependency: when a dependency does not compile there is
+// no export data to import against; the load must fail loudly with the go
+// command's diagnostic rather than typecheck against stale or missing
+// exports.
+func TestLoaderBrokenDependency(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":   "module synthetic\n\ngo 1.22\n",
+		"bad/b.go": "package bad\n\nfunc B() int { return \"not an int\" }\n",
+		"use/u.go": "package use\n\nimport \"synthetic/bad\"\n\nfunc U() int { return bad.B() }\n",
+	})
+	loader := &analysis.Loader{Dir: dir}
+	_, err := loader.Load("./use")
+	if err == nil {
+		t.Fatalf("Load against a broken dependency succeeded; want a loud failure")
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("error does not name the broken dependency: %v", err)
 	}
 }

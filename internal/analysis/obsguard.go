@@ -48,18 +48,81 @@ var ObsGuard = &Analyzer{
 }
 
 func runObsGuard(pass *Pass) error {
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				w := &obsWalker{pass: pass, guarded: make(map[types.Object]bool)}
-				// A Recorder parameter of a function that immediately
-				// early-returns on nil is the dominant pattern; parameters
-				// start unguarded and earn the guard from that check.
-				w.walkBody(fd.Body)
+	// Export nil-predicate facts before walking, so helpers defined later in
+	// the same package (or in any dependency — their facts arrived with the
+	// store) count as guards.
+	exportNilPredicates(pass)
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl) {
+		w := &obsWalker{pass: pass, guarded: make(map[types.Object]bool)}
+		// A Recorder parameter of a function that immediately
+		// early-returns on nil is the dominant pattern; parameters
+		// start unguarded and earn the guard from that check.
+		w.walkBody(fd.Body)
+	})
+	return nil
+}
+
+// nilPredFact marks a function whose boolean result is exactly "parameter
+// Param is non-nil" for a Recorder/Tracer-typed parameter. Callers may use
+// `if helper(rec)` (or early-return on `!helper(rec)`) as a rule-1 guard;
+// the fact travels across packages so a guard helper in one package
+// dominates calls in its importers.
+type nilPredFact struct {
+	Param int
+}
+
+// exportNilPredicates detects single-expression nil predicates —
+// `func active(r obs.Recorder) bool { return r != nil }` — and exports a
+// fact for each. Only the exact `return param != nil` shape qualifies: it
+// makes the predicate an iff, so both the true branch (non-nil) and the
+// negated early-return (nil) directions are sound.
+func exportNilPredicates(pass *Pass) {
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl) {
+		if fd.Recv != nil || len(fd.Body.List) != 1 {
+			return
+		}
+		ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return
+		}
+		cmp, ok := unparen(ret.Results[0]).(*ast.BinaryExpr)
+		if !ok || cmp.Op != token.NEQ {
+			return
+		}
+		var tested ast.Expr
+		switch {
+		case isNilIdent(cmp.Y):
+			tested = unparen(cmp.X)
+		case isNilIdent(cmp.X):
+			tested = unparen(cmp.Y)
+		default:
+			return
+		}
+		id, ok := tested.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || (!isRecorderInterface(obj.Type()) && !isTracerPointer(obj.Type())) {
+			return
+		}
+		if fd.Type.Params == nil {
+			return
+		}
+		idx := 0
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if pass.TypesInfo.Defs[name] == obj {
+					fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+					if ok {
+						pass.ExportFact(ObjKey(fn), nilPredFact{Param: idx})
+					}
+					return
+				}
+				idx++
 			}
 		}
-	}
-	return nil
+	})
 }
 
 // obsWalker tracks, along one lexical path through a function, which
@@ -276,11 +339,28 @@ func (w *obsWalker) nilEqualObjects(cond ast.Expr) []types.Object {
 }
 
 // nilCompareObjects collects idents compared to nil with op across chainOp
-// combinations of cond.
+// combinations of cond. A call of a nil-predicate helper (see nilPredFact)
+// counts as `arg != nil`; its negation counts as `arg == nil`.
 func (w *obsWalker) nilCompareObjects(cond ast.Expr, op, chainOp token.Token) []types.Object {
 	switch e := cond.(type) {
 	case *ast.ParenExpr:
 		return w.nilCompareObjects(e.X, op, chainOp)
+	case *ast.CallExpr:
+		if op == token.NEQ {
+			if obj := w.nilPredicateArg(e); obj != nil {
+				return []types.Object{obj}
+			}
+		}
+		return nil
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT && op == token.EQL {
+			if call, ok := unparen(e.X).(*ast.CallExpr); ok {
+				if obj := w.nilPredicateArg(call); obj != nil {
+					return []types.Object{obj}
+				}
+			}
+		}
+		return nil
 	case *ast.BinaryExpr:
 		if e.Op == chainOp {
 			return append(w.nilCompareObjects(e.X, op, chainOp), w.nilCompareObjects(e.Y, op, chainOp)...)
@@ -304,6 +384,33 @@ func (w *obsWalker) nilCompareObjects(cond ast.Expr, op, chainOp token.Token) []
 		return []types.Object{obj}
 	}
 	return nil
+}
+
+// nilPredicateArg resolves a call of a nil-predicate helper to the
+// Recorder/Tracer object it tests, or nil when the callee carries no
+// nilPredFact (exported by this package's pre-pass or imported from a
+// dependency's).
+func (w *obsWalker) nilPredicateArg(call *ast.CallExpr) types.Object {
+	callee := CalleeOf(w.pass, call)
+	if callee == nil {
+		return nil
+	}
+	var fact nilPredFact
+	if !w.pass.ImportFact(ObjKey(callee), &fact) {
+		return nil
+	}
+	if fact.Param < 0 || fact.Param >= len(call.Args) {
+		return nil
+	}
+	id, ok := unparen(call.Args[fact.Param]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := w.pass.ObjectOf(id)
+	if obj == nil || (!isRecorderInterface(obj.Type()) && !isTracerPointer(obj.Type())) {
+		return nil
+	}
+	return obj
 }
 
 func isNilIdent(e ast.Expr) bool {
@@ -350,25 +457,6 @@ func isRecoverCall(e ast.Expr) bool {
 	}
 	id, ok := call.Fun.(*ast.Ident)
 	return ok && id.Name == "recover"
-}
-
-// terminates reports whether a block always leaves the enclosing block
-// (return, panic, continue, break, or goto as its last statement).
-func terminates(b *ast.BlockStmt) bool {
-	if len(b.List) == 0 {
-		return false
-	}
-	switch last := b.List[len(b.List)-1].(type) {
-	case *ast.ReturnStmt, *ast.BranchStmt:
-		return true
-	case *ast.ExprStmt:
-		if call, ok := last.X.(*ast.CallExpr); ok {
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // isRecorderInterface reports whether t is the named interface Recorder of

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 	"strings"
@@ -110,17 +111,6 @@ func checkParShardFunc(pass *Pass, body *ast.BlockStmt) {
 	walk(body)
 }
 
-// walkChildren applies walk to each direct child node of n.
-func walkChildren(n ast.Node, walk func(ast.Node)) {
-	ast.Inspect(n, func(c ast.Node) bool {
-		if c == n {
-			return true
-		}
-		walk(c)
-		return false
-	})
-}
-
 // collectSyncFacts scans a function body for the synchronization constructs
 // that discharge the unbuffered-send rule: receives from channels (unary
 // <-ch, range over ch, select comm clauses, assignment receives) and
@@ -203,62 +193,82 @@ func checkSpawnedWorker(pass *Pass, lit *ast.FuncLit, loopVars []types.Object, r
 	})
 }
 
-// checkShardLockNesting walks one function body in source order tracking
-// which shard/stripe locks are held, and reports any acquisition of a
-// second, distinct shard lock while one is held. The tracking is
-// deliberately simple — held locks are canonicalized holder expressions,
-// branches are walked as if sequential — because the rule it enforces is
-// equally simple: no code path may ever hold two per-shard locks, so even
-// a lock that is only conditionally held must not bracket another
-// shard-lock acquisition.
+// checkShardLockNesting traverses the function's CFG tracking which
+// shard/stripe locks are held along each path, and reports any acquisition
+// of a second, distinct shard lock while one is held. Held locks are
+// canonicalized holder expressions; the DFS is memoized on (block,
+// held-set) so reconvergent paths with the same lock state are walked
+// once. Deferred operations never land mid-body and are skipped; a
+// function literal runs on its own goroutine (spawn sites) or after the
+// enclosing frame is gone (callbacks), so it is checked in a fresh context
+// of its own.
 func checkShardLockNesting(pass *Pass, body *ast.BlockStmt) {
-	var held []string
-	var walk func(n ast.Node)
-	walk = func(n ast.Node) {
-		switch n := n.(type) {
-		case nil:
-			return
-		case *ast.DeferStmt:
-			// A deferred Unlock releases at return, not here; a deferred
-			// shard Lock would be its own bug but not this one. Either way
-			// the defer's effects never land mid-body.
-			return
-		case *ast.FuncLit:
-			// A function literal runs on its own goroutine (spawn sites) or
-			// after the enclosing frame is gone (callbacks); its lock
-			// context is fresh and its acquisitions do not nest with ours.
-			saved := held
-			held = nil
-			walkChildren(n, walk)
-			held = saved
-			return
-		case *ast.CallExpr:
-			holder, op, ok := shardLockOp(pass, n)
-			if !ok {
-				break
-			}
-			switch op {
-			case "Lock", "RLock":
-				for _, h := range held {
-					if h != holder {
-						pass.Reportf(n.Pos(),
+	cfg := BuildCFG(body)
+	reported := make(map[string]bool) // pos|holder|held — one report per pair
+	visited := make(map[string]bool)  // blockIndex|held-set
+
+	// processNode interprets the lock operations of one straight-line node,
+	// mutating and returning the held set.
+	var processNode func(n ast.Node, held []string) []string
+	processNode = func(n ast.Node, held []string) []string {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.DeferStmt:
+				return false
+			case *ast.FuncLit:
+				checkShardLockNesting(pass, c.Body)
+				return false
+			case *ast.CallExpr:
+				holder, op, ok := shardLockOp(pass, c)
+				if !ok {
+					return true
+				}
+				switch op {
+				case "Lock", "RLock":
+					for _, h := range held {
+						if h == holder {
+							continue
+						}
+						key := fmt.Sprintf("%d|%s|%s", c.Pos(), holder, h)
+						if reported[key] {
+							continue
+						}
+						reported[key] = true
+						pass.Reportf(c.Pos(),
 							"acquires shard lock %s.%s while holding %s's: per-shard locks must never nest (release the first shard, or order through a non-shard mutex)",
 							holder, op, h)
 					}
-				}
-				held = append(held, holder)
-			case "Unlock", "RUnlock":
-				for i := len(held) - 1; i >= 0; i-- {
-					if held[i] == holder {
-						held = append(held[:i], held[i+1:]...)
-						break
+					held = append(held, holder)
+				case "Unlock", "RUnlock":
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i] == holder {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
 					}
 				}
 			}
-		}
-		walkChildren(n, walk)
+			return true
+		})
+		return held
 	}
-	walk(body)
+
+	var visit func(b *Block, held []string)
+	visit = func(b *Block, held []string) {
+		key := fmt.Sprintf("%d|%s", b.Index, strings.Join(held, "\x00"))
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		held = append([]string(nil), held...)
+		for _, n := range b.Nodes {
+			held = processNode(n, held)
+		}
+		for _, e := range b.Succs {
+			visit(e.To, held)
+		}
+	}
+	visit(cfg.Entry, nil)
 }
 
 // shardLockOp matches a mutex operation (Lock/RLock/Unlock/RUnlock) whose
@@ -375,14 +385,4 @@ func isWaitGroup(t types.Type) bool {
 	}
 	obj := named.Obj()
 	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
-}
-
-func unparen(e ast.Expr) ast.Expr {
-	for {
-		p, ok := e.(*ast.ParenExpr)
-		if !ok {
-			return e
-		}
-		e = p.X
-	}
 }

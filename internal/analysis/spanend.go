@@ -1,0 +1,321 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanEnd enforces the tracer layer's balance contract: every span started
+// with Tracer.Begin or Tracer.BeginLane is Ended on all exit paths of the
+// function that started it. An unended span never reaches the journal —
+// its duration, its children's parent edge, and cmd/obsreport's self-time
+// attribution silently vanish for exactly the runs being debugged.
+//
+// Accepted shapes, in the order they are tried:
+//
+//   - direct pass: the Begin call is an argument of an End call —
+//     `defer tr.End(tr.Begin("phase"))`, the dominant engine idiom;
+//   - escape: the span is returned, stored into a struct/map, sent on a
+//     channel, or passed to a helper other than End — ownership moved, the
+//     balance obligation moves with it;
+//   - flow cover: for a span assigned to a variable, every CFG path from
+//     the Begin to the function's exit crosses an `End(span)` — a plain
+//     call, or a defer statement (a crossed defer fires at every later
+//     return). Paths pruned as infeasible: edges asserting the tracer is
+//     nil when the span was begun under a `tr != nil` test (Trace returns
+//     nil when tracing is off, so the canonical `if tr != nil { sp =
+//     tr.Begin } ... if tr != nil { tr.End(sp) }` pairing is balanced —
+//     the tracer cannot change nilness between the two tests). Paths that
+//     end in panic never reach the exit and are exempt: End of the zero
+//     span is a no-op, so panic cleanup may End unconditionally or not at
+//     all.
+//
+// A span begun and discarded (`tr.Begin("x")` as a statement, or assigned
+// to _) can never be balanced and is always reported. Function literals
+// are separate contexts with their own obligations (a worker lane begun in
+// a closure must end in that closure).
+var SpanEnd = &Analyzer{
+	Name:     "spanend",
+	Suppress: "span",
+	Doc: "flag Tracer.Begin/BeginLane spans not Ended on every exit path of the starting " +
+		"function (defer, all-paths End, or ownership escape)",
+	Run: runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) error {
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl) {
+		checkSpanBalance(pass, fd.Body)
+	})
+	return nil
+}
+
+// checkSpanBalance audits one function-like body, then recurses into the
+// function literals it contains (each a fresh context).
+func checkSpanBalance(pass *Pass, body *ast.BlockStmt) {
+	parents := buildParentMap(body)
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, n)
+			return false
+		case *ast.CallExpr:
+			if isSpanBegin(pass, n) {
+				checkOneSpan(pass, body, n, parents)
+			}
+		}
+		return true
+	})
+	for _, lit := range lits {
+		checkSpanBalance(pass, lit.Body)
+	}
+}
+
+// isSpanBegin reports whether the call is Begin/BeginLane on a *obs.Tracer.
+func isSpanBegin(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Begin" && sel.Sel.Name != "BeginLane") {
+		return false
+	}
+	return isTracerPointer(pass.TypeOf(unparen(sel.X)))
+}
+
+// isSpanEndOn reports whether node n's subtree contains an End call on a
+// tracer whose first argument is the span object. Deliberately does not
+// skip function literals or defers: a defer crossed on a path fires at
+// every later exit, and an End inside a deferred closure is the
+// panic-cleanup idiom.
+func isSpanEndOn(pass *Pass, n ast.Node, span types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" || len(call.Args) < 1 {
+			return true
+		}
+		if !isTracerPointer(pass.TypeOf(unparen(sel.X))) {
+			return true
+		}
+		if id, ok := unparen(call.Args[0]).(*ast.Ident); ok && pass.ObjectOf(id) == span {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkOneSpan classifies one Begin call and reports it when unbalanced.
+func checkOneSpan(pass *Pass, body *ast.BlockStmt, begin *ast.CallExpr, parents map[ast.Node]ast.Node) {
+	method := begin.Fun.(*ast.SelectorExpr).Sel.Name
+
+	// Walk up to the first structurally meaningful parent.
+	n := ast.Node(begin)
+	for {
+		p := parents[n]
+		if p == nil {
+			return
+		}
+		switch p := p.(type) {
+		case *ast.ParenExpr:
+			n = p
+			continue
+		case *ast.CallExpr:
+			// Argument of another call: End => direct pass; anything else
+			// transfers ownership.
+			return
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.SendStmt, *ast.KeyValueExpr, *ast.IndexExpr:
+			return // escapes
+		case *ast.ExprStmt:
+			pass.Reportf(begin.Pos(),
+				"span from %s is discarded: its End can never run; use defer tr.End(tr.%s(...)) or bind it (//lint:span to override)",
+				method, method)
+			return
+		case *ast.AssignStmt:
+			for i, rhs := range p.Rhs {
+				if unparen(rhs) != begin || i >= len(p.Lhs) {
+					continue
+				}
+				lhs, ok := p.Lhs[i].(*ast.Ident)
+				if !ok {
+					return // stored through a selector/index: escapes
+				}
+				if lhs.Name == "_" {
+					pass.Reportf(begin.Pos(),
+						"span from %s is assigned to _: its End can never run (//lint:span to override)", method)
+					return
+				}
+				checkSpanVarFlow(pass, body, begin, pass.ObjectOf(lhs), parents)
+				return
+			}
+			return
+		case *ast.ValueSpec:
+			for i, v := range p.Values {
+				if unparen(v) == begin && i < len(p.Names) {
+					checkSpanVarFlow(pass, body, begin, pass.ObjectOf(p.Names[i]), parents)
+					return
+				}
+			}
+			return
+		default:
+			return // unusual context: stay quiet rather than guess
+		}
+	}
+}
+
+// checkSpanVarFlow runs the CFG query for a span bound to a variable:
+// every path from the Begin to the function exit must cross an End(span),
+// unless the variable itself escapes.
+func checkSpanVarFlow(pass *Pass, body *ast.BlockStmt, begin *ast.CallExpr, span types.Object, parents map[ast.Node]ast.Node) {
+	if span == nil || spanVarEscapes(pass, body, span, begin, parents) {
+		return
+	}
+	cfg := BuildCFG(body)
+	fromBlock, fromNode := locateNode(cfg, begin)
+	if fromBlock == nil {
+		return
+	}
+	tracerObj := tracerReceiverObj(pass, begin)
+	q := &PathQuery{
+		Barrier: func(n ast.Node) bool { return isSpanEndOn(pass, n, span) },
+		AvoidEdge: func(_ *Block, e Edge) bool {
+			return tracerObj != nil && edgeAssertsNil(pass, e, tracerObj)
+		},
+	}
+	if cfg.PathExists(fromBlock, fromNode, cfg.Exit, q) {
+		method := begin.Fun.(*ast.SelectorExpr).Sel.Name
+		pass.Reportf(begin.Pos(),
+			"span %s from %s is not Ended on every exit path: defer the End or cover all returns (//lint:span to override)",
+			span.Name(), method)
+	}
+}
+
+// spanVarEscapes reports whether the span variable's value leaves the
+// function by a route other than End: returned, passed to another call,
+// stored through a selector/index, sent, or aggregated into a composite.
+func spanVarEscapes(pass *Pass, body *ast.BlockStmt, span types.Object, begin *ast.CallExpr, parents map[ast.Node]ast.Node) bool {
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != span {
+			return true
+		}
+		for p := parents[ast.Node(id)]; p != nil; p = parents[p] {
+			switch p := p.(type) {
+			case *ast.ParenExpr:
+				continue
+			case *ast.CallExpr:
+				if sel, ok := p.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+					return true // End consumes it; not an escape
+				}
+				escapes = true
+			case *ast.ReturnStmt, *ast.CompositeLit, *ast.SendStmt:
+				escapes = true
+			case *ast.AssignStmt:
+				// span on the RHS being copied somewhere non-local.
+				for i, rhs := range p.Rhs {
+					if containsNode(rhs, id) && i < len(p.Lhs) {
+						if _, plain := p.Lhs[i].(*ast.Ident); !plain {
+							escapes = true
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				// span.Field reads (sp.ID for logging) are not escapes.
+				continue
+			default:
+			}
+			break
+		}
+		return !escapes
+	})
+	return escapes
+}
+
+// tracerReceiverObj resolves the tracer variable the span was begun on,
+// when it is a plain identifier.
+func tracerReceiverObj(pass *Pass, begin *ast.CallExpr) types.Object {
+	sel := begin.Fun.(*ast.SelectorExpr)
+	if id, ok := unparen(sel.X).(*ast.Ident); ok {
+		return pass.ObjectOf(id)
+	}
+	return nil
+}
+
+// edgeAssertsNil reports whether traversing e asserts obj == nil: the true
+// arm of `obj == nil` or the false arm of `obj != nil`. Used to prune
+// paths that are infeasible once the span was begun under a non-nil test.
+func edgeAssertsNil(pass *Pass, e Edge, obj types.Object) bool {
+	cmp, ok := unparen2(e.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	var tested ast.Expr
+	switch {
+	case isNilIdent(cmp.Y):
+		tested = unparen(cmp.X)
+	case isNilIdent(cmp.X):
+		tested = unparen(cmp.Y)
+	default:
+		return false
+	}
+	id, ok := tested.(*ast.Ident)
+	if !ok || pass.ObjectOf(id) != obj {
+		return false
+	}
+	switch cmp.Op {
+	case token.EQL:
+		return e.Taken
+	case token.NEQ:
+		return !e.Taken
+	}
+	return false
+}
+
+// unparen2 is unparen lifted over nil.
+func unparen2(e ast.Expr) ast.Expr {
+	if e == nil {
+		return nil
+	}
+	return unparen(e)
+}
+
+// locateNode finds the block and leaf node of the CFG containing target.
+func locateNode(cfg *CFG, target ast.Node) (*Block, ast.Node) {
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if n == target || containsNode(n, target) {
+				return b, n
+			}
+		}
+	}
+	return nil, nil
+}
+
+// buildParentMap indexes each node's syntactic parent within root.
+func buildParentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

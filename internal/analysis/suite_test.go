@@ -37,6 +37,32 @@ func TestParShard(t *testing.T) {
 	analysistest.Run(t, testdata(t), analysis.ParShard, "parshard")
 }
 
+// TestCtxPoll analyzes the chaos fixture first: chaos.Check's "polls" fact
+// crosses the package boundary through the shared store, and the fixture's
+// GoodTwoFrames case is two helper frames from the intrinsic ctx.Err load.
+func TestCtxPoll(t *testing.T) {
+	analysistest.RunWithDeps(t, testdata(t), analysis.CtxPoll, "ctxpoll", "chaos")
+}
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, testdata(t), analysis.SpanEnd, "spanend")
+}
+
+// TestHotAlloc analyzes the hothelpers fixture first, so the hotpath
+// violation two frames away (Format -> format -> fmt.Sprintf) is reported
+// through an imported fact.
+func TestHotAlloc(t *testing.T) {
+	analysistest.RunWithDeps(t, testdata(t), analysis.HotAlloc, "hotalloc", "hothelpers")
+}
+
+func TestCodecPair(t *testing.T) {
+	analysistest.Run(t, testdata(t), analysis.CodecPair, "codecpair")
+}
+
+func TestAtomicField(t *testing.T) {
+	analysistest.RunWithDeps(t, testdata(t), analysis.AtomicField, "atomicfield", "atomicowner")
+}
+
 func TestAppliesScoping(t *testing.T) {
 	cases := []struct {
 		analyzer *analysis.Analyzer
@@ -54,6 +80,13 @@ func TestAppliesScoping(t *testing.T) {
 		{analysis.InternFreeze, "repro/internal/sim", true},
 		{analysis.SentErr, "repro/cmd/repro", true},
 		{analysis.ParShard, "repro/internal/core", true},
+		{analysis.CtxPoll, "repro/internal/core", true},
+		{analysis.CtxPoll, "repro/internal/obs", false},
+		{analysis.SpanEnd, "repro/internal/core", true},
+		{analysis.SpanEnd, "repro/internal/obs", false},
+		{analysis.HotAlloc, "repro/internal/obs", true},
+		{analysis.CodecPair, "repro/internal/core", true},
+		{analysis.AtomicField, "repro/internal/obs", true},
 	}
 	for _, c := range cases {
 		if got := analysis.Applies(c.analyzer, c.pkg); got != c.want {
@@ -64,8 +97,8 @@ func TestAppliesScoping(t *testing.T) {
 
 func TestSuiteComplete(t *testing.T) {
 	all := analysis.All()
-	if len(all) != 5 {
-		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	if len(all) != 10 {
+		t.Fatalf("All() returned %d analyzers, want 10", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, a := range all {

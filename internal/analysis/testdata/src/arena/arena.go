@@ -1,0 +1,17 @@
+// Package arena is a fixture stand-in for the engine's arena allocator:
+// hotalloc sanctions its callees by package-path suffix, so this stub gets
+// the same exemption as the real package.
+package arena
+
+// Buf is a pre-sized scratch region.
+type Buf struct {
+	b   []byte
+	off int
+}
+
+// Grab hands out the next n bytes of the region.
+func (a *Buf) Grab(n int) []byte {
+	s := a.b[a.off : a.off+n]
+	a.off += n
+	return s
+}

@@ -1,0 +1,83 @@
+// Fixtures for the atomicfield analyzer. The atomicowner fixture package
+// is analyzed first (see suite_test.go), so Gauge.Hits arrives here as an
+// atomically-owned field fact.
+package atomicfield
+
+import (
+	"sync/atomic"
+
+	"atomicowner"
+)
+
+type counter struct {
+	n     uint64
+	label string
+}
+
+// bump is the owning side: once this exists, every other access of n must
+// go through sync/atomic.
+func bump(c *counter) {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func BadPlainRead(c *counter) uint64 {
+	return c.n // want "plain access of n"
+}
+
+func BadPlainWrite(c *counter) {
+	c.n = 0 // want "plain access of n"
+}
+
+func GoodAtomicLoad(c *counter) uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// GoodOtherField: label is not atomically owned.
+func GoodOtherField(c *counter) string {
+	return c.label
+}
+
+// BadCrossPackage reads an imported atomic field plainly; the ownership
+// fact came from the atomicowner package.
+func BadCrossPackage(g *atomicowner.Gauge) int64 {
+	return g.Hits // want "plain access of Hits"
+}
+
+// GoodCrossPackage uses the owner's accessor and the unowned field.
+func GoodCrossPackage(g *atomicowner.Gauge) (int64, string) {
+	return g.Load(), g.Name
+}
+
+type hist struct {
+	counts [8]uint64
+}
+
+func record(h *hist, i int) {
+	atomic.AddUint64(&h.counts[i&7], 1)
+}
+
+// GoodLen: capacity is a property of the type, not the values.
+func GoodLen(h *hist) int {
+	return len(h.counts)
+}
+
+// GoodRangeIndex: a value-less range reads only the length.
+func GoodRangeIndex(h *hist) uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += atomic.LoadUint64(&h.counts[i])
+	}
+	return total
+}
+
+func BadValueRange(h *hist) uint64 {
+	var total uint64
+	for _, v := range h.counts { // want "plain access of counts"
+		total += v
+	}
+	return total
+}
+
+func SuppressedRead(c *counter) uint64 {
+	return c.n //lint:atomic fixture exercises the escape hatch
+}

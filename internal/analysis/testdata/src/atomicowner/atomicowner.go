@@ -1,0 +1,18 @@
+// Package atomicowner is the dependency fixture for atomicfield's
+// cross-package fact test: Hits is atomically owned here, and the fact must
+// reach packages that read the field plainly through the exported type.
+package atomicowner
+
+import "sync/atomic"
+
+// Gauge publishes a monotone counter.
+type Gauge struct {
+	Hits int64
+	Name string
+}
+
+// Inc is the owning side of the atomic protocol.
+func (g *Gauge) Inc() { atomic.AddInt64(&g.Hits, 1) }
+
+// Load is the reading side.
+func (g *Gauge) Load() int64 { return atomic.LoadInt64(&g.Hits) }

@@ -1,0 +1,16 @@
+// Package chaos is a fixture stand-in for the engine's fault-injection
+// layer. Check polls the context on every path, so when ctxpoll analyzes
+// this package it derives the cross-package "polls" fact the consumer
+// fixtures rely on.
+package chaos
+
+import "resilient"
+
+// Check polls cancellation first, then evaluates the named fault point.
+func Check(ctx *resilient.Ctx, point string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_ = point
+	return nil
+}

@@ -1,0 +1,111 @@
+// Fixtures for the codecpair analyzer, against the fake resilient codec.
+package codecpair
+
+import "resilient"
+
+// Snap's pair mirrors exactly, including the depth-1 loop; bookkeeping
+// calls (Err, Done) are not payload and do not disturb the sequence.
+type Snap struct {
+	Epoch uint64
+	Keys  []string
+}
+
+func (s *Snap) Sections(e *resilient.Enc) {
+	e.U64(s.Epoch)
+	e.Int(len(s.Keys))
+	for _, k := range s.Keys {
+		e.Str(k)
+	}
+}
+
+func DecodeSnap(d *resilient.Dec) (*Snap, error) {
+	s := &Snap{}
+	s.Epoch = d.U64()
+	n := d.Int()
+	for i := 0; i < n; i++ {
+		s.Keys = append(s.Keys, d.Str())
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Frame's reader consumes the two sections in the wrong order.
+type Frame struct {
+	ID   uint32
+	Name string
+}
+
+func (f *Frame) Sections(e *resilient.Enc) {
+	e.U32(f.ID)
+	e.Str(f.Name)
+}
+
+func DecodeFrame(d *resilient.Dec) *Frame {
+	f := &Frame{}
+	f.Name = d.Str() // want `DecodeFrame reads Str here but \(Frame\).Sections writes U32 at step 1`
+	f.ID = d.U32()
+	return f
+}
+
+// Table's reader consumes once what the writer wrote per element.
+type Table struct {
+	Rows []uint32
+}
+
+func (t *Table) Sections(e *resilient.Enc) {
+	e.Int(len(t.Rows))
+	for _, r := range t.Rows {
+		e.U32(r)
+	}
+}
+
+func DecodeTable(d *resilient.Dec) *Table {
+	t := &Table{}
+	_ = d.Int()
+	t.Rows = append(t.Rows, d.U32()) // want `DecodeTable reads U32 here but \(Table\).Sections writes U32 \(in a depth-1 loop\) at step 2`
+	return t
+}
+
+// Pair's reader stops early: the second section is never decoded.
+type Pair struct {
+	A, B uint64
+}
+
+func (p *Pair) Sections(e *resilient.Enc) {
+	e.U64(p.A)
+	e.U64(p.B)
+}
+
+func DecodePair(d *resilient.Dec) *Pair { // want `DecodePair stops after 1 reads but \(Pair\).Sections writes 2 values`
+	return &Pair{A: d.U64()}
+}
+
+// Orphan has no Decode counterpart in the package: symmetry is only
+// checkable when both halves are declared, so it is skipped.
+type Orphan struct {
+	V uint32
+}
+
+func (o *Orphan) Sections(e *resilient.Enc) {
+	e.U32(o.V)
+}
+
+// Skewed's divergence is acknowledged with the escape hatch.
+type Skewed struct {
+	A uint32
+	B uint64
+}
+
+func (s *Skewed) Sections(e *resilient.Enc) {
+	e.U32(s.A)
+	e.U64(s.B)
+}
+
+func DecodeSkewed(d *resilient.Dec) *Skewed {
+	s := &Skewed{}
+	s.B = d.U64() //lint:codec fixture exercises the escape hatch
+	s.A = d.U32()
+	return s
+}

@@ -1,0 +1,134 @@
+// Fixtures for the ctxpoll analyzer. The chaos fixture package is analyzed
+// first (see suite_test.go), so chaos.Check carries a cross-package "polls"
+// fact here; stop below is then two helper frames away from the intrinsic
+// ctx.Err load.
+package ctxpoll
+
+import (
+	"chaos"
+	"resilient"
+)
+
+func work(i int) int { return i * 2 }
+
+func needsCheck(i int) bool { return i > 0 }
+
+// stop is two frames from the atomic load: stop -> chaos.Check -> ctx.Err,
+// with the middle frame in another package.
+func stop(ctx *resilient.Ctx) error { return chaos.Check(ctx, "layer") }
+
+func BadNoPoll(ctx *resilient.Ctx, items []int) int {
+	total := 0
+	for _, it := range items { // want "loop can complete an iteration without polling cancellation"
+		total += work(it)
+	}
+	return total
+}
+
+func BadImpureGate(ctx *resilient.Ctx, items []int) error {
+	for _, it := range items { // want "loop can complete an iteration without polling cancellation"
+		if needsCheck(it) { // impure gate: the skipping path never polls
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		work(it)
+	}
+	return nil
+}
+
+func BadContinueSkipsPoll(ctx *resilient.Ctx, items []int) error {
+	for _, it := range items { // want "loop can complete an iteration without polling cancellation"
+		if it == 0 {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work(it)
+	}
+	return nil
+}
+
+func GoodDirectPoll(ctx *resilient.Ctx, items []int) error {
+	for _, it := range items {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work(it)
+	}
+	return nil
+}
+
+func GoodChaosCheck(ctx *resilient.Ctx, items []int) error {
+	for _, it := range items {
+		if err := chaos.Check(ctx, "layer"); err != nil {
+			return err
+		}
+		work(it)
+	}
+	return nil
+}
+
+func GoodTwoFrames(ctx *resilient.Ctx, items []int) error {
+	for _, it := range items {
+		if err := stop(ctx); err != nil {
+			return err
+		}
+		work(it)
+	}
+	return nil
+}
+
+func GoodEveryK(ctx *resilient.Ctx, items []int) error {
+	for i, it := range items {
+		if i&1023 == 0 { // pure gate whose body polls: sanctioned
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		work(it)
+	}
+	return nil
+}
+
+// GoodPureSweep makes no calls: bounded local work per layer is the
+// granularity the contract allows.
+func GoodPureSweep(ctx *resilient.Ctx, items []int) int {
+	total := 0
+	for _, it := range items {
+		total += it
+	}
+	return total
+}
+
+// NoCtxNoObligation has no *resilient.Ctx in scope.
+func NoCtxNoObligation(items []int) int {
+	total := 0
+	for _, it := range items {
+		total += work(it)
+	}
+	return total
+}
+
+type runner struct {
+	ctx *resilient.Ctx
+}
+
+// BadReceiverCtx has the context in scope through its receiver.
+func (r *runner) BadReceiverCtx(items []int) int {
+	total := 0
+	for _, it := range items { // want "loop can complete an iteration without polling cancellation"
+		total += work(it)
+	}
+	return total
+}
+
+func SuppressedLoop(ctx *resilient.Ctx, items []int) int {
+	total := 0
+	//lint:poll fixture exercises the escape hatch
+	for _, it := range items {
+		total += work(it)
+	}
+	return total
+}

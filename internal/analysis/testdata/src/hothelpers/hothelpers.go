@@ -1,0 +1,15 @@
+// Package hothelpers is the dependency fixture for hotalloc's
+// cross-package fact test: Format allocates two helper frames down
+// (Format -> format -> fmt.Sprintf), and the fact derived here must reach
+// the hotpath caller in the hotalloc fixture package.
+package hothelpers
+
+import "fmt"
+
+// Format renders v; its allocation is one frame down.
+func Format(v int) string { return format(v) }
+
+func format(v int) string { return fmt.Sprintf("%d", v) }
+
+// Mask is allocation-free and must carry no fact.
+func Mask(v uint64) uint64 { return v &^ 7 }

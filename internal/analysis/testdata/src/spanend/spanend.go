@@ -1,0 +1,107 @@
+// Fixtures for the spanend analyzer, against the fake obs package.
+package spanend
+
+import "obs"
+
+func work() {}
+
+func GoodDeferDirect(tr *obs.Tracer) {
+	defer tr.End(tr.Begin("phase", 0))
+	work()
+}
+
+func GoodDeferVar(tr *obs.Tracer) {
+	sp := tr.Begin("phase", 0)
+	defer tr.End(sp)
+	work()
+}
+
+func GoodAllPaths(tr *obs.Tracer, ok bool) {
+	sp := tr.Begin("phase", 0)
+	if ok {
+		work()
+		tr.End(sp)
+		return
+	}
+	tr.End(sp)
+}
+
+// GoodNilGate is the canonical pairing when tracing may be off: the span is
+// begun and ended under matching tr != nil tests, and the path that would
+// skip the End asserts tr == nil — infeasible once the Begin ran.
+func GoodNilGate(tr *obs.Tracer) {
+	var sp obs.TraceSpan
+	if tr != nil {
+		sp = tr.Begin("phase", 0)
+	}
+	work()
+	if tr != nil {
+		tr.End(sp)
+	}
+}
+
+// GoodPanicPath: paths ending in panic never reach the exit.
+func GoodPanicPath(tr *obs.Tracer, ok bool) {
+	sp := tr.Begin("phase", 0)
+	if !ok {
+		panic("invariant violated")
+	}
+	work()
+	tr.End(sp)
+}
+
+// GoodEscapeReturn moves the balance obligation to the caller.
+func GoodEscapeReturn(tr *obs.Tracer) obs.TraceSpan {
+	return tr.Begin("phase", 0)
+}
+
+// GoodEscapeStore parks the span in a structure something else drains.
+func GoodEscapeStore(tr *obs.Tracer, pending map[string]obs.TraceSpan) {
+	pending["phase"] = tr.Begin("phase", 0)
+}
+
+// GoodWorkerLane: the closure is its own context and balances its own span.
+func GoodWorkerLane(tr *obs.Tracer) {
+	run := func(lane int) {
+		sp := tr.BeginLane("worker", 0, lane)
+		defer tr.End(sp)
+		work()
+	}
+	run(0)
+}
+
+func BadDiscard(tr *obs.Tracer) {
+	tr.Begin("phase", 0) // want "span from Begin is discarded"
+	work()
+}
+
+func BadUnderscore(tr *obs.Tracer) {
+	_ = tr.Begin("phase", 0) // want "span from Begin is assigned to _"
+}
+
+func BadMissedReturn(tr *obs.Tracer, ok bool) {
+	sp := tr.Begin("phase", 0) // want "span sp from Begin is not Ended on every exit path"
+	if ok {
+		return
+	}
+	work()
+	tr.End(sp)
+}
+
+func BadLaneNeverEnded(tr *obs.Tracer) {
+	sp := tr.BeginLane("lane", 0, 1) // want "span sp from BeginLane is not Ended on every exit path"
+	work()
+	_ = sp.ID
+}
+
+func BadWorkerLane(tr *obs.Tracer) {
+	go func() {
+		sp := tr.BeginLane("worker", 0, 1) // want "span sp from BeginLane is not Ended on every exit path"
+		work()
+		_ = sp.ID
+	}()
+}
+
+func SuppressedDiscard(tr *obs.Tracer) {
+	tr.Begin("phase", 0) //lint:span fixture exercises the escape hatch
+}

@@ -215,6 +215,9 @@ func resumeExploreID(ctx *resilient.Ctx, c Interner, m Model, ck *ExploreCheckpo
 	cacheToNode := newCIDTable(c.Len())
 	ii := 0
 	for _, x := range m.Inits() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: resume canceled while replaying initial states: %w", err)
+		}
 		cid := c.ID(x)
 		if _, seen := cacheToNode.get(cid); seen {
 			continue
@@ -235,6 +238,11 @@ func resumeExploreID(ctx *resilient.Ctx, c Interner, m Model, ck *ExploreCheckpo
 		return nil, mismatch("missing initial state")
 	}
 	for u := 0; u < n; u++ {
+		if u&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: resume canceled while re-materializing states (%d of %d): %w", u, n, err)
+			}
+		}
 		if g.DepthOf[u] == 0 {
 			continue
 		}

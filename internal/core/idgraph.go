@@ -440,7 +440,12 @@ func ExploreIDCtxWith(ctx *resilient.Ctx, c Interner, m Model, depth, maxNodes, 
 	}
 	cacheToNode := newCIDTable(c.Len())
 	var frontier []uint32
-	for _, x := range m.Inits() {
+	// Seeding runs to completion even under a canceled ctx: the checkpoint
+	// format only represents layer-boundary cuts, so an exploration stopped
+	// mid-seed could not be resumed. The layer loop polls immediately after
+	// (stopPoint in continueExplore), bounding cancellation latency to one
+	// sweep over the model's initial states.
+	for _, x := range m.Inits() { //lint:poll seeding is atomic; checkpoints cut at layer boundaries only
 		cid := c.ID(x)
 		if _, seen := cacheToNode.get(cid); seen {
 			continue

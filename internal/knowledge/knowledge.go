@@ -79,6 +79,11 @@ func NewClassesCtx(ctx *resilient.Ctx, states []core.State) (*Classes, error) {
 		index:  make(map[string]int, len(states)),
 	}
 	for i, x := range states {
+		if i%classesCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return c, fmt.Errorf("knowledge: partition interrupted while indexing state %d of %d: %w", i, len(states), err)
+			}
+		}
 		c.index[x.Key()] = i
 	}
 	links := 0

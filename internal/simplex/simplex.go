@@ -109,6 +109,7 @@ func (s Simplex) Key() string { return s.key }
 
 // AppendKey implements core.KeyAppender: the key is precomputed at
 // construction, so the fast path is a copy of the cached bytes.
+//lint:hotpath
 func (s Simplex) AppendKey(dst []byte) []byte { return append(dst, s.key...) }
 
 // String implements fmt.Stringer.

@@ -363,6 +363,7 @@ func (f *Field) sweepLayer(ctx *resilient.Ctx, d, workers int, auto, measure boo
 // shallower side's stale bits are overwritten when that layer is swept).
 // Each plane word is written by exactly one worker — shards are whole-word
 // ranges — so concurrent spans never touch the same uint64.
+//lint:hotpath
 func (f *Field) sweepSpan(a, b uint32) {
 	g := f.g
 	d0, d1 := f.fp.d0, f.fp.d1
@@ -458,6 +459,7 @@ func orRange(p0, p1 []uint64, lo, hi uint32) (uint64, uint64) {
 
 // sweepNodes is the non-contiguous-layer fallback: per-node bit writes in
 // slice order, serial only.
+//lint:hotpath
 func (f *Field) sweepNodes(part []uint32) {
 	for _, u := range part {
 		m0, m1 := f.nodeBits(u)
@@ -471,6 +473,7 @@ func (f *Field) sweepNodes(part []uint32) {
 // all recorded children bits, early-exiting once both are set. Used by the
 // fallback paths (fixpoint, non-contiguous layers); the span sweep inlines
 // the same computation.
+//lint:hotpath
 func (f *Field) nodeBits(u uint32) (m0, m1 uint64) {
 	g := f.g
 	wi, sh := u>>6, u&63
