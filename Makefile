@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race vet lint vettool chaos bench benchfield benchexplore obsreport profile clean
+.PHONY: all build test tier1 race vet lint vettool chaos campaign crash bench benchfield benchexplore obsreport profile clean
 
 all: tier1
 
@@ -49,6 +49,22 @@ chaos:
 	$(GO) test -race ./internal/chaos
 	$(GO) test -race -run 'Checkpoint|Resum|Fault|Panic' ./internal/core ./internal/valence ./internal/resilient
 
+# campaign sweeps the seeded chaos campaign under the race detector: seeds
+# × every named fault point × every fault kind, each case run under the
+# retry/resume supervisor, asserting zero unrecovered failures and a
+# bit-identical result against the fault-free reference pipeline.
+campaign:
+	$(GO) run -race ./cmd/chaoscampaign -seeds 18 -out /tmp/chaoscampaign_report.json
+	@rm -f /tmp/chaoscampaign_report.json
+
+# crash proves checkpoint durability against real process death: a child
+# process saving checkpoint generations in a loop is SIGKILLed mid-write
+# repeatedly, and each time the parent must load an intact generation and
+# resume to the bit-identical graph; a deterministic torn-write/bit-rot
+# pass exercises the generation fallback on top.
+crash:
+	$(GO) run ./cmd/chaoscampaign -crash -crash-kills 4
+
 # tier1 is the gate every change must keep green: full build, vet, the
 # engine-invariant lint suite, the complete test suite (including the
 # golden experiment outputs in the root package), the race detector
@@ -56,10 +72,10 @@ chaos:
 # parallel certification, shared successor caches, and the sharded
 # valence-field sweep, whose randomized property test is re-run explicitly
 # above; ./internal/... also covers internal/analysis and its fixture
-# tests), the chaos fault-injection suite, a one-iteration smoke pass
-# of the field-kernel micro-benchmarks, and the traced-run obsreport
-# round trip.
-tier1: build vet lint test race chaos benchfield benchexplore obsreport
+# tests), the chaos fault-injection suite, the supervised chaos campaign
+# and SIGKILL crash harness, a one-iteration smoke pass of the
+# field-kernel micro-benchmarks, and the traced-run obsreport round trip.
+tier1: build vet lint test race chaos campaign crash benchfield benchexplore obsreport
 
 # bench regenerates BENCH_6.json from the E1–E11 experiment benchmarks,
 # the sharded/legacy exploration grid, the certifier and field-kernel

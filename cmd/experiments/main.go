@@ -74,12 +74,26 @@ func run(args []string) error {
 		{"E10", e10, "General decision problems: the k-set boundary"},
 		{"E11", e11, "Common knowledge at decision (Dwork–Moses)"},
 	}
+	// With -retries the per-experiment run goes through the supervisor:
+	// a retryable failure (panic, deadline, chaos fault) backs off,
+	// resumes from the attempt's checkpoint, and tries again; repeated
+	// budget or memory-pressure errors step down the degradation ladder.
+	sup := resFlags.Supervisor()
+	runOne := func(id string, fn func(*layers.Ctx) error) error {
+		if resFlags.Retries <= 0 {
+			return fn(ctx)
+		}
+		_, err := sup.Run(ctx, id, func(a *layers.Attempt) error {
+			return fn(a.Ctx)
+		})
+		return err
+	}
 	for _, e := range all {
 		if *only != "" && !strings.EqualFold(*only, e.id) {
 			continue
 		}
 		fmt.Printf("== %s — %s ==\n", e.id, e.hdr)
-		if err := e.fn(ctx); err != nil {
+		if err := runOne(e.id, e.fn); err != nil {
 			return resFlags.Finish(fmt.Errorf("%s: %w", e.id, err))
 		}
 		fmt.Println()

@@ -158,6 +158,24 @@ func RandomPlan(seed uint64, candidates []string, maxHit uint64, kinds []Kind) *
 	return NewPlan().Set(point, Rule{Hit: hit, Kind: kind, Delay: time.Millisecond})
 }
 
+// PlanFor derives a single-fault plan for an explicit campaign cell: the
+// point and kind are given (the campaign sweeps their full cross product),
+// only the hit number in [1, maxHit] comes from the seed — salted with the
+// point name and kind so the same seed cuts different cells at different
+// hits. Deterministic: a campaign case is reproduced by (seed, point,
+// kind, maxHit) alone.
+func PlanFor(seed uint64, point string, kind Kind, maxHit uint64) *Plan {
+	s := seed ^ uint64(kind)<<56
+	for _, b := range []byte(point) {
+		s = s*0x100000001b3 + uint64(b)
+	}
+	if maxHit < 1 {
+		maxHit = 1
+	}
+	hit := 1 + splitmix64(&s)%maxHit
+	return NewPlan().Set(point, Rule{Hit: hit, Kind: kind, Delay: time.Millisecond})
+}
+
 // splitmix64 advances the state and returns the next value of the
 // splitmix64 stream — the standard seed-expansion mix, dependency-free.
 func splitmix64(state *uint64) uint64 {

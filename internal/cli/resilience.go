@@ -8,12 +8,22 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/resilient"
+	"repro/internal/valence"
 )
 
-// ResilienceFlags holds the shared cancellation/checkpoint flags of the
-// command-line tools.
+// ExitForced is the exit code of the second-stage (forced) SIGINT path.
+// It is distinct from both the graceful interrupted-run exit (the CLIs
+// return 1 through their error path after saving a checkpoint) and the
+// shell's default SIGINT death (130), so scripts can tell "the user
+// double-interrupted and the run force-exited after closing the journal"
+// apart from every other stop.
+const ExitForced = 131
+
+// ResilienceFlags holds the shared cancellation/checkpoint/retry flags of
+// the command-line tools.
 type ResilienceFlags struct {
 	// Deadline, when positive, cancels the run with ErrDeadline after it
 	// elapses.
@@ -24,24 +34,63 @@ type ResilienceFlags struct {
 	// Resume, when non-empty, is the path of a checkpoint file to resume
 	// from.
 	Resume string
+	// Retries is how many times a retryable failure is retried under the
+	// supervisor (0 = run once, no supervision).
+	Retries int
+	// Backoff is the supervisor's base backoff before the first retry.
+	Backoff time.Duration
+	// KeepCheckpoints is how many checkpoint generations to retain at the
+	// -checkpoint path (keep-last-K rotation; 1 = single file).
+	KeepCheckpoints int
 }
 
-// RegisterResilience registers the shared -deadline/-checkpoint/-resume
-// flags on a flag set.
+// RegisterResilience registers the shared
+// -deadline/-checkpoint/-resume/-retries/-backoff/-keep-checkpoints flags
+// on a flag set.
 func RegisterResilience(fs *flag.FlagSet) *ResilienceFlags {
 	f := &ResilienceFlags{}
 	fs.DurationVar(&f.Deadline, "deadline", 0, "cancel the run after `duration` (0 = none)")
 	fs.StringVar(&f.Checkpoint, "checkpoint", "", "write a resumable snapshot to `file` when interrupted")
 	fs.StringVar(&f.Resume, "resume", "", "resume from the checkpoint `file` of an interrupted run")
+	fs.IntVar(&f.Retries, "retries", 0, "retry a failed run up to `n` times under the supervisor, resuming from checkpoints (0 = no retry)")
+	fs.DurationVar(&f.Backoff, "backoff", 100*time.Millisecond, "supervisor base backoff before the first retry (doubles per retry, seeded jitter)")
+	fs.IntVar(&f.KeepCheckpoints, "keep-checkpoints", 1, "checkpoint generations to retain at the -checkpoint path (keep-last-`k`)")
 	return f
 }
 
+// Store returns the generation store rooted at the -checkpoint path, or
+// nil when no path was given.
+func (f *ResilienceFlags) Store() *resilient.Store {
+	if f.Checkpoint == "" {
+		return nil
+	}
+	return &resilient.Store{Path: f.Checkpoint, Keep: f.KeepCheckpoints}
+}
+
+// Supervisor builds the retry supervisor the flags describe: -retries+1
+// total attempts, -backoff base delay, checkpoints persisted to the
+// -checkpoint generation store, and the engine budget sentinels routed to
+// the degradation ladder. Callers that need a per-run jitter seed or
+// worker width set Seed/Workers on the result.
+func (f *ResilienceFlags) Supervisor() *resilient.Supervisor {
+	return &resilient.Supervisor{
+		Policy: resilient.Policy{
+			MaxAttempts: f.Retries + 1,
+			BaseBackoff: f.Backoff,
+			DegradeOn:   []error{core.ErrNodeBudget, valence.ErrBudget},
+		},
+		Store: f.Store(),
+	}
+}
+
 // Start builds the run's cancellation context: the -deadline timer is
-// armed, the -resume checkpoint's sections are loaded into the context,
+// armed, the -resume checkpoint's sections are loaded into the context
+// (falling back across generations when the newest is torn or corrupt),
 // and SIGINT is routed to cancellation — the first signal cancels the
 // context (the engines stop at the next poll with a checkpoint attached
-// to their error), a second force-exits after flushing the journal. The
-// returned stop function releases the timer and the signal handler.
+// to their error), a second closes the journal and force-exits with
+// ExitForced. The returned stop function releases the timer and the
+// signal handler.
 func (f *ResilienceFlags) Start() (*resilient.Ctx, func(), error) {
 	var ctx *resilient.Ctx
 	var release func()
@@ -52,10 +101,15 @@ func (f *ResilienceFlags) Start() (*resilient.Ctx, func(), error) {
 		release = func() {}
 	}
 	if f.Resume != "" {
-		sections, err := resilient.LoadFile(f.Resume)
+		store := resilient.Store{Path: f.Resume, Keep: f.KeepCheckpoints}
+		sections, gen, err := store.Load()
 		if err != nil {
 			release()
 			return nil, nil, fmt.Errorf("resume: %w", err)
+		}
+		if gen > 0 {
+			fmt.Fprintf(os.Stderr, "resume: generation %d (%s is torn or corrupt, fell back to %s)\n",
+				gen, f.Resume, fmt.Sprintf("%s.%d", f.Resume, gen))
 		}
 		ctx.SetResume(sections)
 	}
@@ -76,8 +130,10 @@ func (f *ResilienceFlags) Start() (*resilient.Ctx, func(), error) {
 					ctx.Cancel(fmt.Errorf("%w: interrupted by signal", resilient.ErrCanceled))
 					continue
 				}
-				syncActiveJournal()
-				os.Exit(130)
+				// Forced exit: close (not just sync) the journal so the
+				// buffered tail reaches the sink before the process dies.
+				closeActiveJournal()
+				os.Exit(ExitForced)
 			}
 		}
 	}()
@@ -91,17 +147,17 @@ func (f *ResilienceFlags) Start() (*resilient.Ctx, func(), error) {
 
 // Finish post-processes a run error: interruption-family errors (anything
 // wrapping resilient.ErrPartial) get their attached checkpoint saved to
-// -checkpoint and a final run.interrupted event emitted with the
-// checkpoint path, so the journal's tail explains the stop. Other errors
-// (and nil) pass through untouched. The returned error is non-nil exactly
-// when err was, so callers keep their nonzero exit.
+// the -checkpoint generation store and a final run.interrupted event
+// emitted with the checkpoint path, so the journal's tail explains the
+// stop. Other errors (and nil) pass through untouched. The returned error
+// is non-nil exactly when err was, so callers keep their nonzero exit.
 func (f *ResilienceFlags) Finish(err error) error {
 	if err == nil || !errors.Is(err, resilient.ErrPartial) {
 		return err
 	}
 	saved := ""
-	if f.Checkpoint != "" {
-		ok, serr := resilient.SaveCheckpoint(f.Checkpoint, err)
+	if store := f.Store(); store != nil {
+		ok, serr := store.SaveError(err)
 		switch {
 		case serr != nil:
 			err = fmt.Errorf("%w (checkpoint not saved: %v)", err, serr)
@@ -126,4 +182,15 @@ func syncActiveJournal() {
 	if s, ok := obs.Active().(interface{ SyncJournal() error }); ok {
 		_ = s.SyncJournal()
 	}
+}
+
+// closeActiveJournal flushes and closes the active recorder's journal —
+// the forced-exit variant of syncActiveJournal: after it the journal
+// accepts no more writes, so nothing can race the imminent os.Exit.
+func closeActiveJournal() {
+	if c, ok := obs.Active().(interface{ CloseJournal() error }); ok {
+		_ = c.CloseJournal()
+		return
+	}
+	syncActiveJournal()
 }

@@ -1,0 +1,192 @@
+package cli_test
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/resilient"
+	"repro/internal/valence"
+)
+
+// TestResilienceFlagDefaults: the retry/rotation flags default to "run
+// once, single checkpoint file" so unsupervised invocations behave exactly
+// as before the supervisor existed.
+func TestResilienceFlagDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := cli.RegisterResilience(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Retries != 0 {
+		t.Errorf("Retries default = %d, want 0", f.Retries)
+	}
+	if f.Backoff != 100*time.Millisecond {
+		t.Errorf("Backoff default = %v, want 100ms", f.Backoff)
+	}
+	if f.KeepCheckpoints != 1 {
+		t.Errorf("KeepCheckpoints default = %d, want 1", f.KeepCheckpoints)
+	}
+	if f.Store() != nil {
+		t.Error("Store() non-nil without a -checkpoint path")
+	}
+}
+
+// TestResilienceSupervisorWiring: Supervisor() translates the flags —
+// retries+1 attempts, the base backoff, the engine budget sentinels on the
+// degradation ladder, and the generation store at the checkpoint path.
+func TestResilienceSupervisorWiring(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := cli.RegisterResilience(fs)
+	ckpt := filepath.Join(t.TempDir(), "w.ckpt")
+	if err := fs.Parse([]string{"-retries", "4", "-backoff", "7ms", "-checkpoint", ckpt, "-keep-checkpoints", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	sup := f.Supervisor()
+	if sup.MaxAttempts != 5 {
+		t.Errorf("MaxAttempts = %d, want retries+1 = 5", sup.MaxAttempts)
+	}
+	if sup.BaseBackoff != 7*time.Millisecond {
+		t.Errorf("BaseBackoff = %v, want 7ms", sup.BaseBackoff)
+	}
+	if sup.Store == nil || sup.Store.Path != ckpt || sup.Store.Keep != 3 {
+		t.Errorf("Store = %+v, want path %s keep 3", sup.Store, ckpt)
+	}
+	for _, sentinel := range []error{core.ErrNodeBudget, valence.ErrBudget} {
+		found := false
+		for _, d := range sup.DegradeOn {
+			if errors.Is(sentinel, d) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v missing from DegradeOn", sentinel)
+		}
+	}
+	// The wired supervisor actually degrades on a budget error.
+	var slept []time.Duration
+	sup.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	sup.Workers = 2
+	var widths []int
+	_, err := sup.Run(resilient.Background(), "op", func(a *resilient.Attempt) error {
+		widths = append(widths, a.Workers)
+		if a.N == 1 {
+			return fmt.Errorf("budget: %w", core.ErrNodeBudget)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(widths) != 2 || widths[1] != 1 {
+		t.Errorf("widths = %v, want a degrade step to 1", widths)
+	}
+}
+
+// TestFinishRotatesGenerations: consecutive interrupted runs through Finish
+// rotate checkpoint generations at the -checkpoint path (keep-last-K), and
+// a Start with -resume pointing there loads the newest generation.
+func TestFinishRotatesGenerations(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "r.ckpt")
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := cli.RegisterResilience(fs)
+	if err := fs.Parse([]string{"-checkpoint", ckpt, "-keep-checkpoints", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		snap := []resilient.Section{{Tag: resilient.TagExplore, Data: []byte{byte('a' + i)}}}
+		runErr := resilient.WithCheckpoint(fmt.Errorf("stop %d: %w", i, resilient.ErrCanceled), sectionsCk{snap})
+		if got := f.Finish(runErr); got == nil {
+			t.Fatalf("Finish(%d) returned nil for a failed run", i)
+		}
+	}
+	for gen, want := range map[string]byte{ckpt: 'b', ckpt + ".1": 'a'} {
+		sections, err := resilient.LoadFile(gen)
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if len(sections) != 1 || sections[0].Data[0] != want {
+			t.Errorf("%s holds %q, want %q", gen, sections[0].Data, want)
+		}
+	}
+
+	// Start with -resume loads the newest generation into the context.
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	f2 := cli.RegisterResilience(fs2)
+	if err := fs2.Parse([]string{"-resume", ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop, err := f2.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if got := ctx.PeekResume(resilient.TagExplore); len(got) != 1 || got[0] != 'b' {
+		t.Errorf("resume payload = %q, want %q", got, "b")
+	}
+}
+
+// TestStartResumeFallsBack: when the newest generation at the -resume path
+// is corrupt, Start falls back to the previous one instead of failing; a
+// path with nothing loadable is a hard error.
+func TestStartResumeFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "f.ckpt")
+	st := &resilient.Store{Path: ckpt, Keep: 2}
+	if err := st.Save([]resilient.Section{{Tag: resilient.TagField, Data: []byte("old")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save([]resilient.Section{{Tag: resilient.TagField, Data: []byte("new")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeGarbage(ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := cli.RegisterResilience(fs)
+	if err := fs.Parse([]string{"-resume", ckpt, "-keep-checkpoints", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop, err := f.Start()
+	if err != nil {
+		t.Fatalf("Start should fall back past the corrupt newest: %v", err)
+	}
+	stop()
+	if got := ctx.PeekResume(resilient.TagField); string(got) != "old" {
+		t.Errorf("resume payload = %q, want the fallback generation", got)
+	}
+
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	f2 := cli.RegisterResilience(fs2)
+	if err := fs2.Parse([]string{"-resume", filepath.Join(dir, "absent.ckpt")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f2.Start(); err == nil {
+		t.Fatal("Start succeeded with no checkpoint at the -resume path")
+	}
+}
+
+// TestExitForcedDistinct: the forced-exit code is pinned — distinct from
+// success, the CLIs' error exit (1), and the shell's SIGINT death (130).
+func TestExitForcedDistinct(t *testing.T) {
+	if cli.ExitForced != 131 {
+		t.Fatalf("ExitForced = %d, want 131", cli.ExitForced)
+	}
+}
+
+// sectionsCk is a minimal Checkpointer over a fixed section list.
+type sectionsCk struct{ sections []resilient.Section }
+
+func (c sectionsCk) Sections() ([]resilient.Section, error) { return c.sections, nil }
+
+// writeGarbage corrupts path in place with non-checkpoint bytes.
+func writeGarbage(path string) error {
+	return os.WriteFile(path, []byte("garbage, not RSCK"), 0o644)
+}

@@ -52,6 +52,20 @@ func (m *Metrics) SyncJournal() error {
 	return j.Sync()
 }
 
+// CloseJournal flushes and closes the attached journal; a no-op without
+// one. Forced-exit paths (a second SIGINT) call it instead of SyncJournal
+// so the buffered tail reaches the sink before the process dies and the
+// journal stops accepting writes that would race the exit.
+func (m *Metrics) CloseJournal() error {
+	m.mu.Lock()
+	j := m.journal
+	m.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	return j.Close()
+}
+
 // JournalErr returns the attached journal's sticky write error, or nil when
 // no journal is attached or every emit succeeded.
 func (m *Metrics) JournalErr() error {

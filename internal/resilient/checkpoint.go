@@ -4,22 +4,35 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
 	"repro/internal/obs"
 )
 
-// Checkpoint file format: a 4-byte magic, one version byte, then a sequence
-// of length-prefixed sections, each [1-byte tag][uint64 LE length][payload].
+// Checkpoint file format (RSCK v2): a 4-byte magic, one version byte, then
+// a sequence of CRC-guarded length-prefixed sections, each
+//
+//	[1-byte tag][uint64 LE length][payload][uint32 LE CRC32C]
+//
+// where the CRC32C (Castagnoli) covers the tag, the length bytes, and the
+// payload, so a torn or bit-flipped frame — header or body — is detected
+// before a payload ever reaches an engine decoder. Version-1 files (no
+// per-section CRC) remain readable; WriteSections always emits v2.
+//
 // Section payloads are engine-owned (core writes the explore section,
 // valence the certify and field sections); the container only frames them,
 // so one file can carry a partial graph, the certifier state over it, and
 // the valence masks together.
 const (
 	ckptMagic   = "RSCK"
-	ckptVersion = 1
+	ckptV1      = 1
+	ckptVersion = 2
 )
+
+// castagnoli is the CRC32C table shared by the writer and the reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Section tags. Tag values are part of the on-disk format; never renumber.
 const (
@@ -39,7 +52,20 @@ type Section struct {
 	Data []byte
 }
 
-// WriteSections writes a checkpoint file containing the given sections.
+// ErrBadCheckpoint reports a file that is not a checkpoint or has an
+// unsupported version.
+var ErrBadCheckpoint = errors.New("resilient: not a checkpoint file")
+
+// ErrCorruptCheckpoint reports a checkpoint file that is torn, truncated,
+// or bit-rotted: wrong magic, a truncated frame, or a CRC mismatch. It
+// wraps ErrBadCheckpoint, so callers with the older, coarser check keep
+// working; the Supervisor and the generation Store match it specifically —
+// corruption is fail-fast for a retry policy but "fall back to the previous
+// generation" for a Store.
+var ErrCorruptCheckpoint = fmt.Errorf("%w: corrupt or torn container", ErrBadCheckpoint)
+
+// WriteSections writes a checkpoint (v2, CRC-guarded) containing the given
+// sections.
 func WriteSections(w io.Writer, sections []Section) error {
 	var hdr [5]byte
 	copy(hdr[:], ckptMagic)
@@ -48,6 +74,7 @@ func WriteSections(w io.Writer, sections []Section) error {
 		return err
 	}
 	var frame [9]byte
+	var trailer [4]byte
 	for _, s := range sections {
 		frame[0] = s.Tag
 		binary.LittleEndian.PutUint64(frame[1:], uint64(len(s.Data)))
@@ -57,51 +84,71 @@ func WriteSections(w io.Writer, sections []Section) error {
 		if _, err := w.Write(s.Data); err != nil {
 			return err
 		}
+		crc := crc32.Update(0, castagnoli, frame[:])
+		crc = crc32.Update(crc, castagnoli, s.Data)
+		binary.LittleEndian.PutUint32(trailer[:], crc)
+		if _, err := w.Write(trailer[:]); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// ErrBadCheckpoint reports a file that is not a checkpoint or has an
-// unsupported version.
-var ErrBadCheckpoint = errors.New("resilient: not a checkpoint file")
-
-// ReadSections parses a checkpoint file written by WriteSections.
+// ReadSections parses a checkpoint file written by WriteSections: v2 frames
+// are CRC-verified, v1 files (pre-CRC) parse as before. Torn, truncated, or
+// mutated input fails with a wrapped ErrCorruptCheckpoint.
 func ReadSections(r io.Reader) ([]Section, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
 	if len(data) < 5 || string(data[:4]) != ckptMagic {
-		return nil, ErrBadCheckpoint
+		return nil, fmt.Errorf("%w: bad magic or short file (%d bytes)", ErrCorruptCheckpoint, len(data))
 	}
-	if data[4] != ckptVersion {
-		return nil, fmt.Errorf("%w: version %d (supported: %d)", ErrBadCheckpoint, data[4], ckptVersion)
+	version := data[4]
+	if version != ckptV1 && version != ckptVersion {
+		return nil, fmt.Errorf("%w: version %d (supported: %d, %d)", ErrBadCheckpoint, version, ckptV1, ckptVersion)
 	}
 	var out []Section
 	off := 5
 	for off < len(data) {
 		if off+9 > len(data) {
-			return nil, fmt.Errorf("%w: truncated section header at offset %d", ErrBadCheckpoint, off)
+			return nil, fmt.Errorf("%w: truncated section header at offset %d", ErrCorruptCheckpoint, off)
 		}
-		tag := data[off]
-		n := binary.LittleEndian.Uint64(data[off+1 : off+9])
+		frame := data[off : off+9]
+		tag := frame[0]
+		n := binary.LittleEndian.Uint64(frame[1:])
 		off += 9
 		if uint64(len(data)-off) < n {
-			return nil, fmt.Errorf("%w: section %d body truncated at offset %d", ErrBadCheckpoint, tag, off)
+			return nil, fmt.Errorf("%w: section %d body truncated at offset %d", ErrCorruptCheckpoint, tag, off)
 		}
-		out = append(out, Section{Tag: tag, Data: data[off : off+int(n)]})
+		body := data[off : off+int(n)]
 		off += int(n)
+		if version >= ckptVersion {
+			if off+4 > len(data) {
+				return nil, fmt.Errorf("%w: section %d missing CRC trailer at offset %d", ErrCorruptCheckpoint, tag, off)
+			}
+			want := binary.LittleEndian.Uint32(data[off:])
+			off += 4
+			crc := crc32.Update(0, castagnoli, frame)
+			crc = crc32.Update(crc, castagnoli, body)
+			if crc != want {
+				return nil, fmt.Errorf("%w: section %d CRC mismatch (got %08x, want %08x)", ErrCorruptCheckpoint, tag, crc, want)
+			}
+		}
+		out = append(out, Section{Tag: tag, Data: body})
 	}
 	return out, nil
 }
 
-// LoadFile reads and parses the checkpoint file at path.
+// LoadFile reads and parses the checkpoint file at path. A truncated,
+// garbage, or bit-rotted file fails with a wrapped ErrCorruptCheckpoint
+// (satisfying errors.Is), never a raw decode error, so callers — and the
+// Supervisor's error classifier — can tell corruption from a transient
+// fault. To fall back across saved generations instead, use Store.Load.
 func LoadFile(path string) ([]Section, error) {
 	rec := obs.Active()
-	defer obs.Span(rec, "checkpoint.load.time")()
-	if tr := obs.Trace(); tr != nil {
-		defer tr.End(tr.Begin("checkpoint.load", 0))
-	}
+	defer obs.Span(rec, "checkpoint.load")()
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -156,36 +203,9 @@ func CheckpointFrom(err error) (Checkpointer, bool) {
 }
 
 // SaveCheckpoint writes the sections of an error's attached Checkpointer to
-// path. It reports (false, nil) when err carries no checkpoint.
+// path, atomically (write-temp, fsync, rename). It reports (false, nil)
+// when err carries no checkpoint. Callers that want to retain previous
+// snapshots use a Store with Keep > 1 instead.
 func SaveCheckpoint(path string, err error) (bool, error) {
-	ck, ok := CheckpointFrom(err)
-	if !ok {
-		return false, nil
-	}
-	rec := obs.Active()
-	defer obs.Span(rec, "checkpoint.save.time")()
-	if tr := obs.Trace(); tr != nil {
-		defer tr.End(tr.Begin("checkpoint.save", 0))
-	}
-	sections, serr := ck.Sections()
-	if serr != nil {
-		return false, serr
-	}
-	f, ferr := os.Create(path)
-	if ferr != nil {
-		return false, ferr
-	}
-	if werr := WriteSections(f, sections); werr != nil {
-		f.Close()
-		return false, werr
-	}
-	if rec != nil {
-		var bytes int64
-		for _, s := range sections {
-			bytes += int64(len(s.Data))
-		}
-		rec.Add("checkpoint.saves", 1)
-		rec.Record("checkpoint.save.bytes", bytes)
-	}
-	return true, f.Close()
+	return (&Store{Path: path, Keep: 1}).SaveError(err)
 }

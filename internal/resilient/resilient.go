@@ -189,6 +189,18 @@ func (c *Ctx) PeekResume(tag byte) []byte {
 	return nil
 }
 
+// ResumeSections returns a copy of every attached resume section. The
+// Supervisor uses it to carry a caller-provided snapshot into the first
+// attempt's child context (children do not inherit resume sections).
+func (c *Ctx) ResumeSections() []Section {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Section(nil), c.resume...)
+}
+
 // TakeResume removes and returns the first attached resume section with the
 // given tag, or nil when the context carries none. Consuming the section
 // makes resume one-shot: a second engine call with the same tag starts

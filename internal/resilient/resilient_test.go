@@ -172,7 +172,9 @@ func TestCheckpointContainerRoundTrip(t *testing.T) {
 }
 
 // TestCheckpointContainerRejects: wrong magic, future version, and
-// truncated frames all fail with ErrBadCheckpoint.
+// truncated frames all fail with ErrBadCheckpoint; the torn/corrupt
+// subset (everything except an unsupported version) additionally
+// satisfies the finer ErrCorruptCheckpoint sentinel.
 func TestCheckpointContainerRejects(t *testing.T) {
 	var good bytes.Buffer
 	if err := resilient.WriteSections(&good, []resilient.Section{{Tag: resilient.TagExplore, Data: []byte("x")}}); err != nil {
@@ -181,14 +183,22 @@ func TestCheckpointContainerRejects(t *testing.T) {
 	cases := map[string][]byte{
 		"empty":             {},
 		"wrong magic":       []byte("NOPE\x01"),
-		"future version":    []byte("RSCK\x02"),
+		"future version":    []byte("RSCK\x03"),
 		"truncated header":  good.Bytes()[:7],
 		"truncated payload": good.Bytes()[:len(good.Bytes())-1],
+		"missing crc":       good.Bytes()[:len(good.Bytes())-4],
 	}
 	for name, data := range cases {
-		if _, err := resilient.ReadSections(bytes.NewReader(data)); !errors.Is(err, resilient.ErrBadCheckpoint) {
+		_, err := resilient.ReadSections(bytes.NewReader(data))
+		if !errors.Is(err, resilient.ErrBadCheckpoint) {
 			t.Errorf("%s: err = %v, want ErrBadCheckpoint", name, err)
 		}
+		if name != "future version" && !errors.Is(err, resilient.ErrCorruptCheckpoint) {
+			t.Errorf("%s: err = %v, want ErrCorruptCheckpoint", name, err)
+		}
+	}
+	if _, err := resilient.ReadSections(bytes.NewReader([]byte("RSCK\x03"))); errors.Is(err, resilient.ErrCorruptCheckpoint) {
+		t.Error("unsupported version misclassified as corruption")
 	}
 }
 
@@ -425,6 +435,47 @@ func TestPoolSiblingCancellation(t *testing.T) {
 	}
 	if parent.Err() != nil {
 		t.Fatal("shard failure canceled the caller's context")
+	}
+}
+
+// TestPoolPanicDuringChildCancellation: a shard that panics AFTER observing
+// the cancellation a failing sibling triggered must not win error selection
+// (lowest shard still does), must stay contained, and must not wedge Run or
+// cancel the caller's parent.
+func TestPoolPanicDuringChildCancellation(t *testing.T) {
+	parent := resilient.Background()
+	p := &resilient.Pool{Workers: 2}
+	failing := fmt.Errorf("shard 0 failed first: %w", resilient.ErrCanceled)
+	var sawCancel atomic.Bool
+	var started atomic.Bool
+	err := p.Run(parent, 2, func(ctx *resilient.Ctx, shard int) error {
+		if shard == 0 {
+			// Let shard 1 start before failing, so the panic genuinely
+			// races the cancellation teardown rather than never running.
+			for !started.Load() {
+				time.Sleep(time.Microsecond)
+			}
+			return failing
+		}
+		started.Store(true)
+		for ctx.Err() == nil {
+			time.Sleep(time.Microsecond)
+		}
+		sawCancel.Store(true)
+		panic("shard 1 died while unwinding from cancellation")
+	})
+	if !sawCancel.Load() {
+		t.Fatal("shard 1 never observed the sibling cancellation")
+	}
+	if !errors.Is(err, failing) {
+		t.Fatalf("err = %v, want shard 0's error to win over the later panic", err)
+	}
+	var pe *resilient.PanicError
+	if errors.As(err, &pe) {
+		t.Fatalf("panic from the canceled shard won error selection: %+v", pe)
+	}
+	if parent.Err() != nil {
+		t.Fatal("contained panic canceled the caller's context")
 	}
 }
 

@@ -57,6 +57,10 @@ type Field struct {
 	// Arena-backed when the sweep came from a Sweep; see the arena package
 	// for the lifetime rule.
 	plane0, plane1 []uint64
+	// scalarKernel forces per-node serial sweeps instead of the
+	// word-parallel span kernel — the degradation ladder's last rung
+	// (see NewFieldScalarCtx). The result is bit-identical either way.
+	scalarKernel bool
 }
 
 // fieldShardMin is the minimum number of layer nodes per worker shard worth
@@ -97,6 +101,20 @@ func NewFieldParallel(g *core.IDGraph, workers int) *Field {
 // NewFieldCtx is NewField under a cancellation context.
 func NewFieldCtx(ctx *resilient.Ctx, g *core.IDGraph) (*Field, error) {
 	return NewFieldParallelCtx(ctx, g, 1)
+}
+
+// NewFieldScalarCtx computes the valence field with the serial scalar
+// kernel: per-node bit probes (Field.nodeBits) in place of the
+// word-parallel span sweep, no worker pool. It is the degradation ladder's
+// last rung — the memory floor is two plane words per 64 nodes with no
+// shard bookkeeping — and shares the layer loop, context polling, and
+// TagField checkpoints with the plane kernel, so a sweep interrupted under
+// one kernel resumes under the other and the result is bit-identical to
+// NewFieldParallel for every graph.
+func NewFieldScalarCtx(ctx *resilient.Ctx, g *core.IDGraph) (*Field, error) {
+	f := &Field{scalarKernel: true}
+	err := f.compute(ctx, g, 1, nil)
+	return f, err
 }
 
 // NewFieldParallelCtx is NewFieldParallel under a cancellation context,
@@ -141,6 +159,9 @@ func (f *Field) compute(ctx *resilient.Ctx, g *core.IDGraph, workers int, ar *ar
 	words := (g.Len() + 63) / 64
 	if rec != nil {
 		rec.Add("field.sweeps", 1)
+		if f.scalarKernel {
+			rec.Add("field.sweeps.scalar", 1)
+		}
 		rec.Add("field.nodes", int64(g.Len()))
 		rec.Add("field.words", int64(2*words))
 	}
@@ -172,6 +193,12 @@ func (f *Field) compute(ctx *resilient.Ctx, g *core.IDGraph, workers int, ar *ar
 		}
 		for d := start; d >= 0; d-- {
 			if err := chaos.Check(ctx, "field.layer"); err != nil {
+				return f.interrupted(rec, d, err)
+			}
+			if err := resilient.MemPressure(); err != nil {
+				// Same checkpointable boundary as a cancellation: the
+				// Supervisor resumes the sweep degraded (fewer workers,
+				// then the scalar kernel) instead of failing it.
 				return f.interrupted(rec, d, err)
 			}
 			var lsp obs.TraceSpan
@@ -279,6 +306,11 @@ func (f *Field) interrupted(rec obs.Recorder, nextLayer int, cause error) error 
 // serially or unmeasured).
 func (f *Field) sweepLayer(ctx *resilient.Ctx, d, workers int, auto, measure bool, parent obs.SpanID) (width int, imbalancePct int64, err error) {
 	g := f.g
+	if f.scalarKernel {
+		layer := g.Layer(d)
+		f.sweepNodes(layer)
+		return len(layer), 0, nil
+	}
 	lo, hi, contiguous := g.LayerSpan(d)
 	if !contiguous {
 		// A graded graph whose layer is not one id window (possible only

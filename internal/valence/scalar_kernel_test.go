@@ -1,0 +1,107 @@
+package valence_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/mobile"
+	"repro/internal/protocols"
+	"repro/internal/resilient"
+	"repro/internal/valence"
+)
+
+func scalarKernelGraph(t *testing.T) *core.IDGraph {
+	t.Helper()
+	return ckptGraph(t, mobile.New(protocols.FloodSet{Rounds: 2}, 3), 2)
+}
+
+// TestFieldScalarCtxMatchesParallel: the scalar-kernel field — the
+// degradation ladder's last rung — produces bit-identical masks to the
+// bit-plane engine and the retained scalar reference.
+func TestFieldScalarCtxMatchesParallel(t *testing.T) {
+	g := scalarKernelGraph(t)
+	ref := valence.ScalarMasks(g)
+	plane, err := valence.NewFieldParallelCtx(nil, g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := valence.NewFieldScalarCtx(nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plane.Masks(), ref) {
+		t.Fatal("bit-plane field differs from scalar reference")
+	}
+	if !bytes.Equal(scalar.Masks(), ref) {
+		t.Fatal("scalar-kernel field differs from scalar reference")
+	}
+}
+
+// TestFieldResumeAcrossKernels: a sweep interrupted under one kernel
+// resumes under the other — both directions — because both share the
+// TagField layer-boundary checkpoint format. This is what makes the
+// supervisor's plane→scalar fallback safe mid-run.
+func TestFieldResumeAcrossKernels(t *testing.T) {
+	g := scalarKernelGraph(t)
+	ref := valence.ScalarMasks(g)
+	cut := uint64(1 + g.NumLayers()/2)
+
+	t.Run("plane-then-scalar", func(t *testing.T) {
+		chaos.Arm(chaos.NewPlan().Set("field.layer", chaos.Rule{Hit: cut, Kind: chaos.KindCancel}))
+		_, perr := valence.NewFieldParallelCtx(nil, g, 2)
+		chaos.Disarm()
+		if !errors.Is(perr, resilient.ErrPartial) {
+			t.Fatalf("cut err = %v, want ErrPartial family", perr)
+		}
+		got, rerr := valence.NewFieldScalarCtx(resumeCtx(t, perr), g)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if !bytes.Equal(got.Masks(), ref) {
+			t.Fatal("scalar resume of a plane-kernel cut differs from reference")
+		}
+	})
+
+	t.Run("scalar-then-plane", func(t *testing.T) {
+		chaos.Arm(chaos.NewPlan().Set("field.layer", chaos.Rule{Hit: cut, Kind: chaos.KindCancel}))
+		_, perr := valence.NewFieldScalarCtx(nil, g)
+		chaos.Disarm()
+		if !errors.Is(perr, resilient.ErrPartial) {
+			t.Fatalf("cut err = %v, want ErrPartial family", perr)
+		}
+		got, rerr := valence.NewFieldParallelCtx(resumeCtx(t, perr), g, 2)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if !bytes.Equal(got.Masks(), ref) {
+			t.Fatal("plane resume of a scalar-kernel cut differs from reference")
+		}
+	})
+}
+
+// TestFieldScalarMemoryPressure: the scalar kernel polls the soft memory
+// gate at the same layer boundary; clearing the limit and resuming
+// completes to reference bits.
+func TestFieldScalarMemoryPressure(t *testing.T) {
+	g := scalarKernelGraph(t)
+	ref := valence.ScalarMasks(g)
+
+	resilient.SetSoftMemLimit(1)
+	defer resilient.SetSoftMemLimit(0)
+	_, perr := valence.NewFieldScalarCtx(nil, g)
+	resilient.SetSoftMemLimit(0)
+
+	if !errors.Is(perr, resilient.ErrMemory) {
+		t.Fatalf("err = %v, want ErrMemory", perr)
+	}
+	got, rerr := valence.NewFieldScalarCtx(resumeCtx(t, perr), g)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !bytes.Equal(got.Masks(), ref) {
+		t.Fatal("resume after memory pressure differs from reference")
+	}
+}

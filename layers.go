@@ -270,6 +270,47 @@ var (
 	ErrDeadline = resilient.ErrDeadline
 )
 
+// Supervisor runs checkpointable engine ops under a retry policy:
+// exponential backoff with seeded jitter, per-error-class decisions, and a
+// degradation ladder, resuming each attempt from the previous attempt's
+// checkpoint.
+type Supervisor = resilient.Supervisor
+
+// Attempt is what a supervised op receives: the attempt's child context
+// (carrying any resume snapshot) plus the degraded worker/kernel
+// parameters to honor.
+type Attempt = resilient.Attempt
+
+// Policy configures a Supervisor (attempt/backoff/budget limits,
+// classification).
+type Policy = resilient.Policy
+
+// Store is the crash-durable checkpoint generation store: atomic
+// write-fsync-rename saves, keep-last-K rotation, and corrupt-generation
+// fallback on load.
+type Store = resilient.Store
+
+// ErrCorruptCheckpoint is returned (wrapped) when a checkpoint file is
+// torn, truncated, or fails its section CRCs; a Store falls back to the
+// previous generation, a Supervisor fails fast.
+var ErrCorruptCheckpoint = resilient.ErrCorruptCheckpoint
+
+// ErrMemory is the soft-memory-limit sentinel; see SetSoftMemLimit.
+var ErrMemory = resilient.ErrMemory
+
+// SetSoftMemLimit arms (0 disarms) the advisory heap limit the engines
+// poll at layer boundaries; crossing it interrupts the run with a
+// checkpoint and an error wrapping ErrMemory, which the Supervisor treats
+// as a degradation signal.
+func SetSoftMemLimit(bytes int64) { resilient.SetSoftMemLimit(bytes) }
+
+// NewFieldScalarCtx computes the valence field with the serial scalar
+// kernel — the degradation ladder's last rung. The result is bit-identical
+// to NewFieldParallel's, and the two kernels share checkpoints.
+func NewFieldScalarCtx(ctx *Ctx, g *IDGraph) (*Field, error) {
+	return valence.NewFieldScalarCtx(ctx, g)
+}
+
 // Background returns a cancelable context with no deadline.
 func Background() *Ctx { return resilient.Background() }
 
