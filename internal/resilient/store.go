@@ -17,9 +17,11 @@ import (
 // logs, so the resume flag of every CLI keeps pointing at the plain path.
 //
 // Save is crash-safe at every step: existing generations are rotated by
-// rename (oldest first), then the new snapshot is written to a temp file,
-// fsynced, and renamed into place. A SIGKILL at any instant leaves either
-// the new generation complete or the previous one intact at Path+".1";
+// rename (oldest first, skipped entirely for Keep=1), then the new
+// snapshot is written to a temp file, fsynced, and renamed into place. A
+// SIGKILL or write failure at any instant leaves either the new generation
+// complete or the previous one intact (at Path+".1" after rotation, at
+// Path itself for Keep=1, where the final rename alone replaces it);
 // never a half-written file that Load would trust, because Load verifies
 // each candidate's per-section CRCs (RSCK v2) and falls back to the next
 // older generation when the newer one is torn or corrupt.
@@ -54,14 +56,24 @@ func (s *Store) Save(sections []Section) error {
 	if s.Path == "" {
 		return errors.New("resilient: store has no path")
 	}
+	rec := obs.Active()
+	defer obs.Span(rec, "checkpoint.save.time")()
+	if tr := obs.Trace(); tr != nil {
+		defer tr.End(tr.Begin("checkpoint.save", 0))
+	}
 	k := s.keep()
-	// Rotate oldest-first so each rename's target slot is already free.
-	// A crash between renames only shifts which slot holds which snapshot;
-	// every file on disk stays a complete, CRC-valid container.
-	os.Remove(s.genPath(k - 1))
-	for gen := k - 2; gen >= 0; gen-- {
-		if err := os.Rename(s.genPath(gen), s.genPath(gen+1)); err != nil && !errors.Is(err, fs.ErrNotExist) {
-			return fmt.Errorf("resilient: rotating checkpoint generation %d: %w", gen, err)
+	if k > 1 {
+		// Rotate oldest-first so each rename's target slot is already free.
+		// A crash between renames only shifts which slot holds which
+		// snapshot; every file on disk stays a complete, CRC-valid
+		// container. With Keep=1 there is nothing to rotate: the final
+		// rename below atomically replaces the live file, so the previous
+		// snapshot stays intact until the new one is durable.
+		os.Remove(s.genPath(k - 1))
+		for gen := k - 2; gen >= 0; gen-- {
+			if err := os.Rename(s.genPath(gen), s.genPath(gen+1)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return fmt.Errorf("resilient: rotating checkpoint generation %d: %w", gen, err)
+			}
 		}
 	}
 	tmp := s.Path + ".tmp"
@@ -85,13 +97,13 @@ func (s *Store) Save(sections []Section) error {
 		return err
 	}
 	syncDir(filepath.Dir(s.Path))
-	if rec := obs.Active(); rec != nil {
+	if rec != nil {
 		rec.Add("checkpoint.saves", 1)
 		var bytes int64
 		for _, sec := range sections {
 			bytes += int64(len(sec.Data))
 		}
-		rec.Add("checkpoint.save.bytes", bytes)
+		rec.Record("checkpoint.save.bytes", bytes)
 	}
 	return nil
 }

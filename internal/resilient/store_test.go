@@ -139,6 +139,35 @@ func TestStoreSaveAtomic(t *testing.T) {
 	}
 }
 
+// TestStoreKeep1FailedSaveKeepsPrevious: with Keep=1 a Save that fails
+// mid-write must leave the previous checkpoint intact at Path — rotation
+// must never delete the only copy before its replacement is durable.
+func TestStoreKeep1FailedSaveKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	st := &resilient.Store{Path: filepath.Join(dir, "a.ckpt"), Keep: 1}
+	if err := st.Save(testSections()); err != nil {
+		t.Fatal(err)
+	}
+	// Block the temp file slot with a directory so the next Save's write
+	// fails before anything can be renamed into place.
+	if err := os.Mkdir(st.Path+".tmp", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(testSections()); err == nil {
+		t.Fatal("Save succeeded despite blocked temp file")
+	}
+	if err := os.Remove(st.Path + ".tmp"); err != nil {
+		t.Fatal(err)
+	}
+	sections, gen, err := st.Load()
+	if err != nil {
+		t.Fatalf("previous checkpoint lost after failed Save: %v", err)
+	}
+	if gen != 0 || len(sections) != 3 {
+		t.Errorf("Load = gen %d, %d sections; want the original at gen 0", gen, len(sections))
+	}
+}
+
 // TestStoreRotationKeepsK: with Keep=3, the three newest snapshots survive
 // in order (gen 0 newest) and older ones are dropped.
 func TestStoreRotationKeepsK(t *testing.T) {

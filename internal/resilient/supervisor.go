@@ -143,10 +143,18 @@ func (s *Supervisor) Run(ctx *Ctx, name string, op func(*Attempt) error) (RunSta
 	}
 	start := time.Now()
 	var stats RunStats
+	var lastErr error
 	pending := ctx.ResumeSections()
 	for n := 1; ; n++ {
-		if err := ctx.Err(); err != nil {
-			return stats, err
+		if perr := ctx.Err(); perr != nil {
+			// Canceled during the previous backoff: wrap the last
+			// attempt's error instead of returning the bare cancellation,
+			// so its attached checkpoint — the harvested progress — still
+			// reaches callers that save on the way out.
+			if lastErr != nil {
+				return stats, fmt.Errorf("resilient: supervisor canceled before retry (%v): %w", perr, lastErr)
+			}
+			return stats, perr
 		}
 		attempt := &Attempt{N: n, Workers: workers, Scalar: scalar, Resumed: len(pending) > 0}
 		stats.Attempts++
@@ -170,6 +178,7 @@ func (s *Supervisor) Run(ctx *Ctx, name string, op func(*Attempt) error) (RunSta
 			}
 			return stats, nil
 		}
+		lastErr = err
 		decision := s.decide(err)
 		if perr := ctx.Err(); perr != nil {
 			// The parent was canceled (possibly mid-attempt): whatever the
@@ -205,23 +214,29 @@ func (s *Supervisor) Run(ctx *Ctx, name string, op func(*Attempt) error) (RunSta
 			return stats, fmt.Errorf("resilient: supervisor wall-clock budget %s exhausted after %d attempts: %w", s.Budget, n, err)
 		}
 		if decision == Degrade {
+			stepped := true
 			switch {
 			case workers > 1:
 				workers /= 2
 			case !scalar:
 				scalar = true
+			default:
+				// Ladder exhausted (already serial scalar): keep retrying
+				// within the attempt budget — the fault may still be
+				// transient — but no step was taken, so none is counted.
+				stepped = false
 			}
-			// Ladder exhausted (already serial scalar): keep retrying
-			// within the attempt budget — the fault may still be transient.
-			stats.Degrades++
-			if rec != nil {
-				rec.Add("supervisor.degrades", 1)
-				rec.Event("supervisor.degrade",
-					obs.F{Key: "op", Value: name},
-					obs.F{Key: "attempt", Value: n},
-					obs.F{Key: "workers", Value: workers},
-					obs.F{Key: "scalar", Value: scalar},
-					obs.F{Key: "cause", Value: err.Error()})
+			if stepped {
+				stats.Degrades++
+				if rec != nil {
+					rec.Add("supervisor.degrades", 1)
+					rec.Event("supervisor.degrade",
+						obs.F{Key: "op", Value: name},
+						obs.F{Key: "attempt", Value: n},
+						obs.F{Key: "workers", Value: workers},
+						obs.F{Key: "scalar", Value: scalar},
+						obs.F{Key: "cause", Value: err.Error()})
+				}
 			}
 		}
 		// Harvest the failed attempt's checkpoint: it becomes the next

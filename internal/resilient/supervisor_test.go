@@ -226,8 +226,8 @@ func TestSupervisorDegradationLadder(t *testing.T) {
 			t.Errorf("attempt %d ran at %+v, want %+v", i+1, seen[i], want[i])
 		}
 	}
-	if stats.Degrades != 6 {
-		t.Errorf("degrades = %d, want 6", stats.Degrades)
+	if stats.Degrades != 4 {
+		t.Errorf("degrades = %d, want 4 (no step counted once the ladder is exhausted)", stats.Degrades)
 	}
 }
 
@@ -320,6 +320,40 @@ func TestSupervisorResumeFromParentCtx(t *testing.T) {
 	}
 	if stats.Resumes != 1 {
 		t.Errorf("resumes = %d, want 1", stats.Resumes)
+	}
+}
+
+// TestSupervisorCancelDuringBackoffKeepsCheckpoint: a parent cancellation
+// during the backoff sleep must not reduce the run to a bare ctx error —
+// the returned error still wraps the last attempt's error and carries its
+// checkpoint, so callers can save the harvested progress on the way out.
+func TestSupervisorCancelDuringBackoffKeepsCheckpoint(t *testing.T) {
+	ctx, cancel := resilient.WithCancel()
+	defer cancel()
+	sup := &resilient.Supervisor{Policy: resilient.Policy{
+		MaxAttempts: 5,
+		Sleep:       func(time.Duration) { cancel() },
+	}}
+	snap := []resilient.Section{{Tag: resilient.TagExplore, Data: []byte("harvested")}}
+	stats, err := sup.Run(ctx, "op", func(*resilient.Attempt) error {
+		return resilient.WithCheckpoint(fmt.Errorf("interrupted: %w", resilient.ErrDeadline), ckpt{snap})
+	})
+	if err == nil {
+		t.Fatal("Run succeeded, want cancellation")
+	}
+	if !errors.Is(err, resilient.ErrDeadline) {
+		t.Errorf("err = %v, want to wrap the last attempt's ErrDeadline", err)
+	}
+	ck, ok := resilient.CheckpointFrom(err)
+	if !ok {
+		t.Fatal("returned error lost the harvested checkpoint")
+	}
+	sections, serr := ck.Sections()
+	if serr != nil || len(sections) != 1 || string(sections[0].Data) != "harvested" {
+		t.Errorf("checkpoint sections = %+v (%v), want the harvested snapshot", sections, serr)
+	}
+	if stats.Attempts != 1 || stats.Retries != 1 {
+		t.Errorf("stats = %+v, want 1 attempt / 1 retry", stats)
 	}
 }
 
